@@ -1,0 +1,62 @@
+"""Ablation — the hub threshold d_high (DESIGN.md, marked decision).
+
+The paper fixes ``d_high = p``.  At paper scale (p >= 1024) that makes hubs
+rare; naively reusing the rule at simulator scale (p <= 32) would delegate
+nearly every vertex, which degrades both balance *and* quality (every move
+becomes a partial-information consensus).  This ablation sweeps d_high on
+the UK-2007 analogue at p=16 to expose the trade-off and justify the
+rescaled default (``8 * p``).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, load_dataset
+from repro.core import DistributedConfig, distributed_louvain
+from repro.partition import workload_imbalance
+from repro.runtime.costmodel import simulate_time
+
+
+def test_ablation_dhigh(benchmark, show):
+    graph = load_dataset("uk-2007").graph
+    p = 16
+
+    def sweep():
+        rows = []
+        for d_high in (16, 64, 128, 256, 1024, 10**9):
+            res = distributed_louvain(
+                graph, p, DistributedConfig(d_high=d_high, max_inner=40)
+            )
+            rows.append(
+                {
+                    "d_high": d_high,
+                    "hubs": int(res.partition.hub_global_ids.size),
+                    "W": workload_imbalance(res.partition),
+                    "Q": res.modularity,
+                    "time": simulate_time(res.stats).total,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        format_table(
+            ["d_high", "#hubs", "W", "Q", "time (s, simulated)"],
+            [
+                [
+                    "inf" if r["d_high"] >= 10**9 else r["d_high"],
+                    r["hubs"],
+                    round(r["W"], 4),
+                    round(r["Q"], 4),
+                    f"{r['time']:.4f}",
+                ]
+                for r in rows
+            ],
+            title=f"Ablation: hub threshold d_high on uk-2007 analogue (p={p})",
+        )
+    )
+
+    by_dh = {r["d_high"]: r for r in rows}
+    # no delegates at all (d_high = inf) leaves the hub imbalance in place
+    assert by_dh[10**9]["W"] > by_dh[128]["W"]
+    # delegating everything (d_high = p) costs modularity vs the scaled rule
+    assert by_dh[128]["Q"] >= by_dh[16]["Q"] - 0.02

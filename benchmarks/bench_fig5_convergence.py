@@ -1,0 +1,66 @@
+"""Fig. 5 — modularity convergence: sequential vs simple min-label vs
+enhanced heuristic, on six datasets.
+
+Paper claim: the enhanced heuristic converges to a modularity close to the
+sequential algorithm, while the simple minimum-label heuristic converges to
+a clearly lower value (e.g. DBLP 0.57 vs 0.80/0.82).  Our exact per-
+iteration aggregate resynchronisation heals part of the simple heuristic's
+damage, so the reproduced gap is smaller, but the ordering
+``minlabel <= enhanced ~= sequential`` must hold (see EXPERIMENTS.md).
+"""
+
+from repro.bench import format_table, harness
+
+DATASETS = ("amazon", "dblp", "nd-web", "youtube", "lfr", "rmat")
+
+
+def test_fig5_convergence(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: harness.run_convergence(
+            DATASETS, n_ranks=8, heuristics=("minlabel", "enhanced", "greedy")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, curves in out.items():
+        rows.append(
+            [
+                name,
+                round(curves["sequential"][-1], 4),
+                round(curves["minlabel"][-1], 4),
+                round(curves["enhanced"][-1], 4),
+                round(curves["greedy"][-1], 4),
+                len(curves["sequential"]),
+                len(curves["minlabel"]),
+                len(curves["enhanced"]),
+                len(curves["greedy"]),
+            ]
+        )
+    show(
+        format_table(
+            [
+                "dataset",
+                "Q seq",
+                "Q minlabel",
+                "Q enhanced",
+                "Q greedy",
+                "it seq",
+                "it minlbl",
+                "it enh",
+                "it greedy",
+            ],
+            rows,
+            title="Fig. 5: final modularity and iteration counts per strategy (p=8)",
+        )
+    )
+    for name, curves in out.items():
+        series = ", ".join(
+            f"{k}={['%.3f' % q for q in v]}" for k, v in curves.items()
+        )
+        show(f"Fig. 5 curve [{name}]: {series}")
+
+    # the paper's ordering must reproduce
+    for name, curves in out.items():
+        assert curves["enhanced"][-1] >= curves["minlabel"][-1] - 0.03, name
+        assert curves["enhanced"][-1] >= curves["sequential"][-1] - 0.08, name

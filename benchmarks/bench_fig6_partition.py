@@ -1,0 +1,65 @@
+"""Fig. 6 — workload and communication balance, 1D vs delegate partitioning
+on the UK-2007 analogue.
+
+Paper claims to reproduce:
+(a) with 1D partitioning the max per-rank edge count is far above average;
+    delegate partitioning equalises it;
+(b) 1D concentrates ghost vertices on a few ranks, delegate spreads them;
+(c) the 1D imbalance W grows with the processor count while delegate W
+    stays near zero;
+(d) delegate partitioning's max ghost count falls with processor count.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, harness
+
+
+def test_fig6_partition_balance(benchmark, show):
+    out = benchmark.pedantic(
+        lambda: harness.run_partition_analysis(
+            "uk-2007", p_detail=32, p_sweep=(8, 16, 32)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    e1 = out["1d_edges_per_rank"]
+    ed = out["delegate_edges_per_rank"]
+    g1 = out["1d_ghosts_per_rank"]
+    gd = out["delegate_ghosts_per_rank"]
+    show(
+        format_table(
+            ["metric", "1D", "delegate"],
+            [
+                ["edges/rank max", int(e1.max()), int(ed.max())],
+                ["edges/rank mean", int(e1.mean()), int(ed.mean())],
+                ["edges/rank min", int(e1.min()), int(ed.min())],
+                ["ghosts/rank max", int(g1.max()), int(gd.max())],
+                ["ghosts/rank mean", int(g1.mean()), int(gd.mean())],
+            ],
+            title="Fig. 6(a,b): per-rank distributions on uk-2007 analogue (p=32)",
+        )
+    )
+    show(
+        format_table(
+            ["p", "W 1D", "W delegate", "max ghosts 1D", "max ghosts delegate"],
+            [
+                [r["p"], round(r["W_1d"], 4), round(r["W_delegate"], 4),
+                 r["max_ghosts_1d"], r["max_ghosts_delegate"]]
+                for r in out["sweep"]
+            ],
+            title="Fig. 6(c,d): imbalance W (Eq. 5) and max ghosts vs p",
+        )
+    )
+
+    # (a): delegate flattens the edge distribution
+    assert ed.max() - ed.min() < (e1.max() - e1.min())
+    # (c): 1D imbalance grows with p; delegate stays near zero
+    w1 = [r["W_1d"] for r in out["sweep"]]
+    wd = [r["W_delegate"] for r in out["sweep"]]
+    assert w1[-1] > w1[0]
+    assert all(w < 0.05 for w in wd)
+    # (d): delegate max-ghost count decreases with p
+    md = [r["max_ghosts_delegate"] for r in out["sweep"]]
+    assert md[-1] < md[0]

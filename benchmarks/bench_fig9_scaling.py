@@ -1,0 +1,40 @@
+"""Fig. 9 — scalability on the real-world dataset ladder.
+
+Paper claims to reproduce: the simulated clustering time decreases with the
+processor count for every dataset; the sequential time is far above the
+parallel times on the larger datasets; delegate partitioning time is
+negligible relative to clustering.
+"""
+
+from conftest import LARGE_DATASETS, P_SWEEP, SMALL_DATASETS, cached_scaling
+
+from repro.bench import format_table
+
+
+def test_fig9_scaling(benchmark, show):
+    names = SMALL_DATASETS + LARGE_DATASETS
+    scaling = benchmark.pedantic(
+        lambda: cached_scaling(names, P_SWEEP), rounds=1, iterations=1
+    )
+    headers = ["dataset", "seq (s)"] + [f"p={p}" for p in P_SWEEP] + ["part max (s, wall)"]
+    rows = []
+    for name in names:
+        e = scaling[name]
+        rows.append(
+            [name, f"{e['sequential_time']:.4f}"]
+            + [f"{t:.4f}" for t in e["time"]]
+            + [f"{max(e['partition_time']):.3f}"]
+        )
+    show(
+        format_table(
+            headers, rows,
+            title="Fig. 9: simulated clustering time vs p (real-world ladder)",
+        )
+    )
+
+    for name in names:
+        e = scaling[name]
+        # time at the largest p must clearly beat the smallest p
+        assert e["time"][-1] < e["time"][0], name
+        # and beat the sequential time
+        assert e["time"][-1] < e["sequential_time"], name

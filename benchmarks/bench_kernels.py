@@ -1,0 +1,81 @@
+"""Kernel micro-benchmarks — wall-clock performance of the library's hot
+paths, measured by pytest-benchmark with real repetition.
+
+Unlike the figure benchmarks (which report *simulated* distributed time),
+these track the single-process speed of the building blocks so performance
+regressions in the implementation itself are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import load_dataset
+from repro.core import DistributedConfig, distributed_louvain, sequential_louvain
+from repro.core.coarsen import coarsen_graph
+from repro.core.modularity import modularity
+from repro.graph.csr import build_symmetric_csr
+from repro.partition import delegate_partition, oned_partition
+from repro.quality import score_all
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return load_dataset("livejournal").graph
+
+
+@pytest.fixture(scope="module")
+def assignment(medium_graph):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 200, medium_graph.n_vertices)
+
+
+def test_kernel_csr_build(benchmark, medium_graph):
+    src, dst, w = medium_graph.edge_arrays()
+    n = medium_graph.n_vertices
+    g = benchmark(lambda: build_symmetric_csr(n, src, dst, w))
+    assert g.n_edges == medium_graph.n_edges
+
+
+def test_kernel_delegate_partition(benchmark, medium_graph):
+    part = benchmark(lambda: delegate_partition(medium_graph, 16, d_high=128))
+    assert part.size == 16
+
+
+def test_kernel_oned_partition(benchmark, medium_graph):
+    part = benchmark(lambda: oned_partition(medium_graph, 16))
+    assert part.size == 16
+
+
+def test_kernel_modularity(benchmark, medium_graph, assignment):
+    q = benchmark(lambda: modularity(medium_graph, assignment))
+    assert -0.5 <= q <= 1.0
+
+
+def test_kernel_coarsen(benchmark, medium_graph, assignment):
+    coarse, _ = benchmark(lambda: coarsen_graph(medium_graph, assignment))
+    assert np.isclose(coarse.total_weight, medium_graph.total_weight)
+
+
+def test_kernel_quality_metrics(benchmark, assignment):
+    rng = np.random.default_rng(1)
+    other = rng.integers(0, 200, assignment.size)
+    scores = benchmark(lambda: score_all(assignment, other))
+    assert set(scores) == {"NMI", "F-measure", "NVD", "RI", "ARI", "JI"}
+
+
+def test_kernel_sequential_louvain_small(benchmark):
+    graph = load_dataset("lfr").graph
+    res = benchmark.pedantic(
+        lambda: sequential_louvain(graph), rounds=3, iterations=1
+    )
+    assert res.modularity > 0.5
+
+
+def test_kernel_distributed_louvain_small(benchmark):
+    graph = load_dataset("lfr").graph
+    res = benchmark.pedantic(
+        lambda: distributed_louvain(graph, 4, DistributedConfig(d_high=64)),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.modularity > 0.5

@@ -1,0 +1,40 @@
+"""Shared machinery for the per-figure benchmarks.
+
+Each benchmark regenerates one table/figure of the paper on the scaled-down
+dataset analogues and prints the rows/series through ``capsys.disabled()``
+so they appear in the captured benchmark log.  Simulated times come from the
+BSP cost model (see DESIGN.md); pytest-benchmark's own timings measure the
+single-core simulation wall-clock, which is reported for completeness but is
+NOT the quantity the paper plots.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.bench import harness
+
+# the real-world ladder used by Figs. 7, 9 and 10, smallest to largest
+SMALL_DATASETS = ("amazon", "dblp", "nd-web", "youtube")
+LARGE_DATASETS = ("livejournal", "uk-2005", "webbase-2001", "friendster", "uk-2007")
+P_SWEEP = (4, 8, 16, 32)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_scaling(names: tuple[str, ...], p_sweep: tuple[int, ...]):
+    """Figs. 9 and 10 share one expensive sweep; compute it once."""
+    return harness.run_scaling(list(names), p_sweep=list(p_sweep))
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print straight to the terminal, bypassing pytest capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Community detection on a DIRECTED graph (citation-network scenario).
+
+The paper notes its approach "can be easily extended to directed graphs
+[15]".  This example builds a synthetic citation network — papers cite
+earlier papers, mostly within their own field — and compares:
+
+1. the native directed Louvain (Leicht–Newman directed modularity), and
+2. the paper's reduction: symmetrize, run the full distributed delegate
+   pipeline, score with directed modularity.
+
+Usage::
+
+    python examples/directed_citation_network.py [n_papers] [n_fields]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import DistributedConfig
+from repro.core.directed import (
+    directed_louvain,
+    directed_modularity,
+    distributed_directed_louvain,
+)
+from repro.graph.directed import build_directed_csr
+from repro.quality import normalized_mutual_information
+
+
+def citation_network(n: int, fields: int, seed: int = 0):
+    """Papers arrive over time and cite ~5 earlier papers, 85% in-field."""
+    rng = np.random.default_rng(seed)
+    field = rng.integers(0, fields, n)
+    src, dst = [], []
+    for paper in range(fields * 2, n):
+        n_cites = 3 + int(rng.integers(0, 5))
+        earlier = np.arange(paper)
+        in_field = earlier[field[earlier] == field[paper]]
+        for _ in range(n_cites):
+            if in_field.size and rng.random() < 0.85:
+                cited = int(rng.choice(in_field))
+            else:
+                cited = int(rng.integers(0, paper))
+            if cited != paper:
+                src.append(paper)
+                dst.append(cited)
+    return build_directed_csr(n, np.array(src), np.array(dst)), field
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    fields = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"generating citation network: {n} papers, {fields} fields")
+    graph, truth = citation_network(n, fields, seed=11)
+    print(f"  {graph}")
+
+    # --- native directed Louvain ------------------------------------------
+    res_dir = directed_louvain(graph)
+    nmi_dir = normalized_mutual_information(res_dir.assignment, truth)
+    print(
+        f"\nnative directed Louvain : Q_dir = {res_dir.modularity:.4f}, "
+        f"{len(set(res_dir.assignment.tolist()))} communities, "
+        f"NMI vs fields = {nmi_dir:.3f}"
+    )
+
+    # --- distributed pipeline via symmetrization ---------------------------
+    result, q_dir = distributed_directed_louvain(
+        graph, 8, DistributedConfig(d_high=64)
+    )
+    nmi_dist = normalized_mutual_information(result.assignment, truth)
+    print(
+        f"distributed (symmetrized): Q_dir = {q_dir:.4f}, "
+        f"{result.n_communities} communities, "
+        f"NMI vs fields = {nmi_dist:.3f}"
+    )
+
+    print(
+        "\nboth recover the planted fields; the symmetrized reduction keeps "
+        "the\ndelegate machinery (hub citations are exactly the workload "
+        "skew the\npartitioning handles) at a small directed-modularity "
+        "discount."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Demonstrate the vertex-bouncing problem and the paper's fix (Section IV-C).
+
+Three move-selection strategies are compared on the same graph and
+partition:
+
+* ``greedy``   — pure modularity-gain maximisation.  Two singleton vertices
+  on different ranks happily swap communities forever (Fig. 3(a)); greedy
+  only terminates thanks to the modularity-improvement stop, at a clearly
+  worse optimum.
+* ``minlabel`` — Lu et al.'s minimum-label rule kills the swaps by gating
+  cross-rank moves toward smaller labels, but is blind to community
+  structure (the stale-singleton problem of Fig. 4).
+* ``enhanced`` — the paper's heuristic: prefer local communities, then
+  multi-member remote ones, and only then label-gated remote singletons.
+
+Usage::
+
+    python examples/heuristic_convergence.py
+"""
+
+import numpy as np
+
+from repro import DistributedConfig, distributed_louvain, sequential_louvain
+from repro.core.heuristics import get_heuristic
+from repro.core.local_clustering import LocalClustering
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import lfr_graph
+from repro.partition import oned_partition
+from repro.runtime import run_spmd
+
+
+def bouncing_pair_demo() -> None:
+    """The minimal Fig. 3 scenario: one edge, two ranks."""
+    print("=" * 64)
+    print("Fig. 3 scenario: vertices 0 and 1, one edge, two ranks")
+    print("=" * 64)
+    graph = CSRGraph.from_edges(2, [(0, 1)])
+    part = oned_partition(graph, 2)
+
+    for name in ("greedy", "enhanced"):
+
+        def worker(comm, heuristic=name):
+            lc = LocalClustering(
+                comm,
+                part.locals[comm.rank],
+                get_heuristic(heuristic),
+                max_inner=6,
+                stall_patience=10,  # disable the safety stop: show raw dynamics
+            )
+            out = lc.run()
+            return out.moves_history
+
+        moves = run_spmd(2, worker).results[0]
+        verdict = "bounces forever" if all(m > 0 for m in moves) else "converges"
+        print(f"  {name:9s}: moves per iteration = {moves} -> {verdict}")
+
+
+def quality_comparison() -> None:
+    print()
+    print("=" * 64)
+    print("quality on an LFR benchmark (1000 vertices, p=8)")
+    print("=" * 64)
+    bench = lfr_graph(1000, mu=0.2, seed=3)
+    seq = sequential_louvain(bench.graph)
+    print(f"  sequential reference: Q = {seq.modularity:.4f}")
+    for name in ("greedy", "minlabel", "enhanced"):
+        res = distributed_louvain(
+            bench.graph, 8, DistributedConfig(heuristic=name, d_high=64, max_inner=40)
+        )
+        iters = sum(r.n_iterations for r in res.levels)
+        print(
+            f"  {name:9s}: Q = {res.modularity:.4f} "
+            f"({iters} total inner iterations, {res.n_levels} levels)"
+        )
+    print(
+        "\nthe enhanced heuristic tracks the sequential result; greedy "
+        "needs far\nmore iterations and lands lower — the bouncing/staleness "
+        "cost the paper\nreports in Fig. 5."
+    )
+
+
+if __name__ == "__main__":
+    bouncing_pair_demo()
+    quality_comparison()

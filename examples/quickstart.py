@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: detect communities in a graph with the distributed Louvain
+algorithm.
+
+Runs the full pipeline — delegate partitioning, parallel local clustering
+with delegates, distributed merging, multi-level refinement — on 4 simulated
+MPI ranks, and compares the result against sequential Louvain.
+
+Usage::
+
+    python examples/quickstart.py [edge_list_file]
+
+Without an argument it uses Zachary's karate club.  An edge-list file has
+one ``u v [weight]`` pair per line (SNAP format).
+"""
+
+import sys
+
+import numpy as np
+
+from repro import DistributedConfig, distributed_louvain, modularity, sequential_louvain
+from repro.graph.generators import karate_club
+from repro.graph.io import read_edge_list
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        graph = read_edge_list(sys.argv[1])
+        print(f"loaded {sys.argv[1]}: {graph}")
+    else:
+        graph = karate_club()
+        print(f"using Zachary's karate club: {graph}")
+
+    # --- the one-call API -------------------------------------------------
+    result = distributed_louvain(
+        graph,
+        n_ranks=4,
+        config=DistributedConfig(heuristic="enhanced", d_high=32),
+    )
+
+    print(f"\ncommunities found : {result.n_communities}")
+    print(f"modularity Q      : {result.modularity:.4f}")
+    print(f"levels            : {result.n_levels}")
+    print(f"Q per level       : {[round(q, 4) for q in result.modularity_per_level]}")
+
+    # the reported Q is the algorithm's own distributed computation;
+    # verify it against an independent recomputation
+    assert np.isclose(result.modularity, modularity(graph, result.assignment))
+
+    # --- compare with the sequential baseline ------------------------------
+    seq = sequential_louvain(graph)
+    print(f"\nsequential Louvain: Q = {seq.modularity:.4f} "
+          f"({len(set(seq.assignment.tolist()))} communities)")
+    print(f"distributed/sequential Q ratio: {result.modularity / seq.modularity:.3f}")
+
+    # --- show the communities ----------------------------------------------
+    print("\nmembership:")
+    for c in range(result.n_communities):
+        members = np.flatnonzero(result.assignment == c)
+        print(f"  community {c}: {members.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

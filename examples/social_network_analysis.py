@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Community detection on a social network with ground truth.
+
+The scenario from the paper's introduction: a social graph (friendships,
+co-purchases) whose latent groups we want to recover.  We generate an LFR
+benchmark — the standard synthetic social network with planted communities —
+run the distributed algorithm at several processor counts, and score the
+detected communities against the planted truth with the full Table II metric
+set (NMI, F-measure, NVD, RI, ARI, JI).
+
+Usage::
+
+    python examples/social_network_analysis.py [n_vertices] [mu]
+
+``mu`` is the mixing parameter: the fraction of each member's friendships
+that leave their community (0.1 = crisp groups, 0.5 = noisy).
+"""
+
+import sys
+
+from repro import DistributedConfig, distributed_louvain, sequential_louvain
+from repro.graph.generators import lfr_graph
+from repro.quality import score_all
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    mu = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+
+    print(f"generating LFR social network: n={n}, mu={mu}")
+    bench = lfr_graph(n, mu=mu, seed=42)
+    graph = bench.graph
+    truth = bench.ground_truth
+    n_truth = len(set(truth.tolist()))
+    print(f"  {graph}")
+    print(f"  planted communities: {n_truth}, realised mixing: "
+          f"{bench.mixing_realised:.3f}")
+
+    seq = sequential_louvain(graph)
+    print(f"\nsequential Louvain: Q={seq.modularity:.4f}, "
+          f"{len(set(seq.assignment.tolist()))} communities")
+
+    header = f"{'p':>3} {'Q':>8} {'#comm':>6} " + " ".join(
+        f"{m:>7}" for m in ("NMI", "F-meas", "NVD", "RI", "ARI", "JI")
+    )
+    print("\ndistributed algorithm vs planted ground truth:")
+    print(header)
+    for p in (2, 4, 8, 16):
+        result = distributed_louvain(
+            graph, p, DistributedConfig(heuristic="enhanced", d_high=8 * p)
+        )
+        scores = score_all(result.assignment, truth)
+        row = f"{p:>3} {result.modularity:>8.4f} {result.n_communities:>6} "
+        row += " ".join(f"{scores[m]:>7.4f}" for m in scores)
+        print(row)
+
+    print(
+        "\nNMI above 0.8 indicates high-quality recovery (the paper's "
+        "Table II bar);\nnote the quality is stable as the processor count "
+        "grows — the enhanced\nheuristic keeps the distributed result "
+        "consistent with the sequential one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Scaling study on a web-crawl-like graph — the paper's headline scenario.
+
+Web crawls are the hardest case for distributed community detection: a few
+portal pages touch a constant fraction of the crawl, so conventional 1D
+partitioning piles their edges (and the matching communication) onto single
+ranks.  This example:
+
+1. generates a crawl analogue (LFR host communities + portal super-hubs);
+2. compares 1D and delegate partitioning balance (the paper's Fig. 6);
+3. runs the full algorithm over a processor sweep and reports simulated
+   scaling and parallel efficiency (Figs. 9/10).
+
+Usage::
+
+    python examples/web_graph_scaling.py [n_vertices]
+"""
+
+import sys
+
+from repro import DistributedConfig, distributed_louvain
+from repro.graph.generators import lfr_graph
+from repro.graph.generators.webgraph import add_portals
+from repro.partition import (
+    delegate_partition,
+    edges_per_rank,
+    ghosts_per_rank,
+    oned_partition,
+    workload_imbalance,
+)
+from repro.runtime.costmodel import simulate_time
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+
+    print(f"generating web-crawl analogue: n={n} (host communities + portals)")
+    base = lfr_graph(n, mu=0.1, seed=7, min_degree=5)
+    graph = add_portals(base.graph, n_portals=2, portal_fraction=0.5, seed=11)
+    print(f"  {graph}, max degree {int(graph.degrees.max())}")
+
+    # --- partitioning balance (Fig. 6) -------------------------------------
+    print("\npartitioning balance (W = max/avg - 1, Eq. 5):")
+    print(f"{'p':>4} {'W 1D':>8} {'W delegate':>11} {'ghosts 1D':>10} {'ghosts dg':>10}")
+    for p in (4, 8, 16, 32):
+        one = oned_partition(graph, p)
+        dg = delegate_partition(graph, p, d_high=8 * p)
+        print(
+            f"{p:>4} {workload_imbalance(one):>8.3f} "
+            f"{workload_imbalance(dg):>11.4f} "
+            f"{int(ghosts_per_rank(one).max()):>10} "
+            f"{int(ghosts_per_rank(dg).max()):>10}"
+        )
+
+    # --- scaling sweep (Figs. 9/10) ----------------------------------------
+    print("\nscaling sweep (times are simulated distributed makespans):")
+    print(f"{'p':>4} {'Q':>8} {'time (s)':>10} {'efficiency':>11}")
+    prev = None
+    for p in (4, 8, 16, 32):
+        result = distributed_louvain(graph, p, DistributedConfig(d_high=8 * p))
+        t = simulate_time(result.stats).total
+        eff = ""
+        if prev is not None:
+            p0, t0 = prev
+            eff = f"{(p0 * t0) / (p * t):.2f}"
+        print(f"{p:>4} {result.modularity:>8.4f} {t:>10.5f} {eff:>11}")
+        prev = (p, t)
+
+    print(
+        "\ndelegate partitioning keeps W near zero at every p while 1D "
+        "degrades;\nthe simulated time falls with p at healthy efficiency — "
+        "the paper's\nFig. 6/9/10 claims at reduced scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517/660 editable installs cannot build.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "A Scalable Distributed Louvain Algorithm for
+Large-scale Graph Community Detection" (Zeng & Yu, IEEE CLUSTER 2018).
+
+Quickstart
+----------
+>>> from repro import distributed_louvain, DistributedConfig
+>>> from repro.graph.generators import karate_club
+>>> result = distributed_louvain(karate_club(), n_ranks=4)
+>>> 0.0 < result.modularity <= 1.0
+True
+
+Package map
+-----------
+``repro.graph``      CSR graphs, generators, IO.
+``repro.partition``  1D and delegate partitioning.
+``repro.runtime``    simulated-MPI SPMD runtime + BSP cost model.
+``repro.core``       sequential / distributed Louvain, heuristics, baselines.
+``repro.quality``    partition-quality metrics (NMI, ARI, ...).
+``repro.bench``      dataset analogues and per-figure experiment runners.
+"""
+
+from repro.core import (
+    DistributedConfig,
+    DistributedResult,
+    cheong_louvain,
+    distributed_louvain,
+    modularity,
+    sequential_louvain,
+)
+from repro.graph import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "DistributedConfig",
+    "DistributedResult",
+    "cheong_louvain",
+    "distributed_louvain",
+    "modularity",
+    "sequential_louvain",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness: dataset analogues, experiment runners, reporting.
+
+Every table and figure of the paper's evaluation section has a runner here
+(consumed by the ``benchmarks/`` suite and the examples).  See DESIGN.md's
+per-experiment index for the mapping.
+"""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, LoadedDataset, load_dataset
+from repro.bench.report import format_table
+from repro.bench import harness
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "LoadedDataset",
+    "load_dataset",
+    "format_table",
+    "harness",
+]

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the same rows/series the paper reports; this module
+keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    pairs = ", ".join(f"{x}={_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,132 @@
+"""Cheong-style hierarchical 1D Louvain baseline (paper Fig. 7).
+
+Cheong et al. (Euro-Par'13) cluster each 1D partition *independently,
+ignoring the edges that cross partitions*, merge each partition's
+communities into super-vertices, and then cluster the merged graph on a
+single node.  The paper implements an MPI version of this scheme as its
+baseline and shows (a) the accuracy loss from dropped cross edges and
+(b) the workload imbalance of pure 1D partitioning.  We reproduce exactly
+that scheme on the simulated runtime so its traffic and balance are measured
+with the same instruments as the main algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sequential import louvain_one_level, sequential_louvain
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+from repro.graph.ops import relabel_communities
+from repro.partition.oned import oned_partition
+from repro.runtime.engine import run_spmd
+from repro.runtime.stats import RunStats
+
+__all__ = ["cheong_louvain", "CheongResult"]
+
+
+@dataclass
+class CheongResult:
+    """Output of :func:`cheong_louvain`."""
+
+    assignment: np.ndarray
+    modularity: float
+    stats: RunStats
+    n_communities: int
+
+
+def _worker(comm, partition, theta: float):
+    """Cluster the local partition in isolation, then ship community rows
+    to rank 0 for the final hierarchical pass."""
+    lg = partition.locals[comm.rank]
+
+    with comm.phase("local_cluster"):
+        # build the rank-local subgraph over owned vertices only, DROPPING
+        # edges to ghosts (the accuracy-losing step of the baseline)
+        owned_n = lg.n_owned
+        rows = np.repeat(np.arange(lg.n_rows, dtype=np.int64), np.diff(lg.indptr))
+        keep = (rows < owned_n) & (lg.indices < owned_n)
+        src, dst, w = rows[keep], lg.indices[keep], lg.weights[keep]
+        # each undirected edge appears twice among owned rows; keep one copy
+        half = src <= dst
+        local_graph = build_symmetric_csr(owned_n, src[half], dst[half], w[half])
+        if owned_n:
+            local_assign, sweeps = louvain_one_level(local_graph, theta=theta)
+            # each sweep scans every local directed entry once
+            comm.add_compute(sweeps * local_graph.n_directed_entries)
+            local_assign = relabel_communities(local_assign)
+        else:
+            local_assign = np.zeros(0, dtype=np.int64)
+
+    with comm.phase("merge"):
+        # merge local communities into super-vertices (global ids offset by
+        # rank so labels are disjoint), then gather the coarse edges plus
+        # all dropped cross edges at rank 0
+        n_comm_local = int(local_assign.max()) + 1 if local_assign.size else 0
+        offsets = comm.allgather(n_comm_local)
+        base = int(np.sum(offsets[: comm.rank]))
+        total_comm = int(np.sum(offsets))
+        super_of_owned = local_assign + base
+
+        # every rank must translate ghost endpoints too: exchange the
+        # super-vertex of each owned vertex with subscriber ranks
+        super_of_local = np.full(lg.n_local, -1, dtype=np.int64)
+        super_of_local[:owned_n] = super_of_owned
+        owned_ids = lg.global_ids[:owned_n]
+        payloads = []
+        for r in range(comm.size):
+            ids = lg.send_to.get(r)
+            if ids is None:
+                payloads.append(np.zeros(0, dtype=np.int64))
+            else:
+                payloads.append(super_of_owned[np.searchsorted(owned_ids, ids)])
+        received = comm.alltoall(payloads)
+        ghost_ids = lg.global_ids[lg.n_rows :]
+        for r, values in enumerate(received):
+            ids = lg.recv_from.get(r)
+            if ids is not None and len(values):
+                super_of_local[lg.n_rows + np.searchsorted(ghost_ids, ids)] = values
+
+        cu = super_of_local[rows]
+        cv = super_of_local[lg.indices]
+        e_src = comm.gather((cu, cv, lg.weights), root=0)
+        my_map = comm.gather((lg.global_ids[:owned_n], super_of_owned), root=0)
+
+    with comm.phase("final_cluster"):
+        if comm.rank == 0:
+            acu = np.concatenate([p[0] for p in e_src])
+            acv = np.concatenate([p[1] for p in e_src])
+            aw = np.concatenate([p[2] for p in e_src])
+            # directed entries appear twice globally; halve via u <= v
+            keep = acu <= acv
+            merged = build_symmetric_csr(total_comm, acu[keep], acv[keep], aw[keep])
+            final = sequential_louvain(merged, theta=theta)
+            comm.add_compute(final.work_units)
+            ids = np.concatenate([p[0] for p in my_map])
+            supers = np.concatenate([p[1] for p in my_map])
+            assignment = np.full(lg.n_global, -1, dtype=np.int64)
+            assignment[ids] = final.assignment[supers]
+            result = (assignment, final.modularity)
+        else:
+            result = None
+        result = comm.bcast(result, root=0)
+    return result
+
+
+def cheong_louvain(
+    graph: CSRGraph, n_ranks: int, theta: float = 1e-12, timeout: float = 600.0
+) -> CheongResult:
+    """Run the 1D hierarchical baseline on ``n_ranks`` simulated ranks."""
+    partition = oned_partition(graph, n_ranks)
+    spmd = run_spmd(n_ranks, _worker, partition, theta, timeout=timeout)
+    assignment, _q_merged = spmd.results[0]
+    from repro.core.modularity import modularity as compute_q
+
+    q = compute_q(graph, assignment)
+    return CheongResult(
+        assignment=assignment,
+        modularity=q,
+        stats=spmd.stats,
+        n_communities=int(assignment.max()) + 1,
+    )

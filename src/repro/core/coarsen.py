@@ -1,0 +1,45 @@
+"""Community coarsening: collapse each community into a single vertex.
+
+Shared by the sequential algorithm and the Cheong baseline (the distributed
+version, Algorithm 3, lives in :mod:`repro.core.merging`).
+
+Weight conventions make modularity invariant under coarsening: for
+communities ``c != d`` the coarse edge weight is the summed fine weight
+between them, and the coarse self-loop weight is the *internal undirected*
+weight plus fine self-loops (our CSR counts a stored self-loop twice in the
+degree, so this preserves ``sigma_tot`` and ``m``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+from repro.graph.ops import relabel_communities
+
+__all__ = ["coarsen_graph"]
+
+
+def coarsen_graph(
+    graph: CSRGraph, assignment: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Collapse communities into vertices.
+
+    Returns ``(coarse_graph, dense_assignment)`` where ``dense_assignment``
+    maps each fine vertex to its coarse vertex id (``0 .. k-1``).
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_vertices,):
+        raise ValueError("assignment must have one label per vertex")
+    dense = relabel_communities(assignment)
+    k = int(dense.max()) + 1 if dense.size else 0
+
+    src, dst, w = graph.edge_arrays()  # each undirected edge once, u <= v
+    cs, cd = dense[src], dense[dst]
+    lo = np.minimum(cs, cd)
+    hi = np.maximum(cs, cd)
+    # build_symmetric_csr merges duplicates by summing, and internal fine
+    # edges (lo == hi) become self-loops — exactly the convention above:
+    # a fine self-loop contributes its weight once, an internal edge once.
+    coarse = build_symmetric_csr(k, lo, hi, w)
+    return coarse, dense

@@ -1,0 +1,105 @@
+"""Community hierarchy (dendrogram) produced by multi-level Louvain.
+
+Both the sequential and the distributed algorithm proceed level by level:
+each level maps the vertices of the previous level's coarse graph onto the
+next one.  :class:`Dendrogram` wraps those mappings with the operations a
+downstream user actually wants — "give me the communities at level k",
+"how many levels are there", "cut where there are at most N communities" —
+with every mapping validated on construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import relabel_communities
+
+__all__ = ["Dendrogram"]
+
+
+class Dendrogram:
+    """A stack of level mappings over an ``n_vertices`` base graph.
+
+    ``levels[k]`` maps the vertex ids of level ``k`` (level 0 = original
+    vertices) to community ids of level ``k + 1``; community ids at every
+    level are dense ``0 .. n_k - 1``.
+    """
+
+    def __init__(self, n_vertices: int, levels: Sequence[np.ndarray]) -> None:
+        if not levels:
+            raise ValueError("a dendrogram needs at least one level")
+        self._levels = [np.asarray(lv, dtype=np.int64) for lv in levels]
+        expected = n_vertices
+        for k, lv in enumerate(self._levels):
+            if lv.shape != (expected,):
+                raise ValueError(
+                    f"level {k} maps {lv.shape[0]} vertices, expected {expected}"
+                )
+            if lv.size:
+                if lv.min() < 0:
+                    raise ValueError(f"level {k} has negative community ids")
+                k_next = int(lv.max()) + 1
+                if not np.array_equal(np.unique(lv), np.arange(k_next)):
+                    raise ValueError(f"level {k} community ids are not dense")
+                expected = k_next
+            else:
+                expected = 0
+        self.n_vertices = n_vertices
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequential(cls, result) -> "Dendrogram":
+        """Build from a :class:`~repro.core.sequential.SequentialResult`."""
+        return cls(result.levels[0].shape[0], result.levels)
+
+    @classmethod
+    def from_flat(cls, assignment: np.ndarray) -> "Dendrogram":
+        """Single-level dendrogram from a flat assignment."""
+        return cls(len(assignment), [relabel_communities(assignment)])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self._levels)
+
+    def communities_at(self, level: int) -> np.ndarray:
+        """Flat assignment of the ORIGINAL vertices after ``level + 1``
+        coarsening steps (``level = n_levels - 1`` is the final result)."""
+        if not 0 <= level < self.n_levels:
+            raise IndexError(f"level must be in [0, {self.n_levels})")
+        flat = self._levels[0]
+        for mapping in self._levels[1 : level + 1]:
+            flat = mapping[flat]
+        return flat.copy()
+
+    def final(self) -> np.ndarray:
+        return self.communities_at(self.n_levels - 1)
+
+    def n_communities_at(self, level: int) -> int:
+        a = self.communities_at(level)
+        return int(a.max()) + 1 if a.size else 0
+
+    def cut(self, max_communities: int) -> np.ndarray:
+        """Deepest level with at most ``max_communities`` communities; if
+        even the final level has more, the final level is returned."""
+        for level in range(self.n_levels):
+            if self.n_communities_at(level) <= max_communities:
+                return self.communities_at(level)
+        return self.final()
+
+    def modularity_profile(self, graph: CSRGraph) -> list[float]:
+        """Modularity of every level's flat assignment on ``graph``."""
+        from repro.core.modularity import modularity
+
+        if graph.n_vertices != self.n_vertices:
+            raise ValueError("graph does not match the dendrogram base")
+        return [
+            modularity(graph, self.communities_at(k)) for k in range(self.n_levels)
+        ]
+
+    def __repr__(self) -> str:
+        sizes = [self.n_communities_at(k) for k in range(self.n_levels)]
+        return f"Dendrogram(n_vertices={self.n_vertices}, level_sizes={sizes})"

@@ -1,0 +1,272 @@
+"""The distributed Louvain algorithm (paper Algorithm 1).
+
+Stages, as in the paper:
+
+1. **Distributed delegate partitioning** — :mod:`repro.partition.delegate`
+   (or the 1D baseline, for the comparison experiments).
+2. **Parallel local clustering with delegates** — iterate Algorithm 2 until
+   no vertex changes community (phases tagged ``s1:*``).
+3. **Distributed graph merging** — Algorithm 3, re-partitioning the merged
+   graph with 1D round-robin.
+4. **Parallel local clustering without delegates** — repeat clustering +
+   merging on ever-coarser graphs (phases tagged ``s2:*``) until modularity
+   stops improving.
+
+Execution is simulated SPMD (see :mod:`repro.runtime`): each rank is a
+thread, and all times reported by the benchmark harness come from the BSP
+cost model applied to the measured per-rank work and traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.heuristics import get_heuristic
+from repro.core.local_clustering import LocalClustering
+from repro.core.merging import merge_level
+from repro.graph.csr import CSRGraph
+from repro.partition.delegate import delegate_partition
+from repro.partition.distgraph import Partition
+from repro.partition.oned import oned_partition
+from repro.runtime.engine import run_spmd
+from repro.runtime.stats import RunStats
+
+__all__ = ["DistributedConfig", "DistributedResult", "distributed_louvain"]
+
+
+@dataclass(frozen=True)
+class DistributedConfig:
+    """Knobs of Algorithm 1.  Defaults follow the paper."""
+
+    heuristic: str = "enhanced"  # greedy | minlabel | enhanced
+    partitioning: str = "delegate"  # delegate | 1d
+    d_high: int | None = None  # hub threshold; None -> processor count
+    rebalance: bool = True  # delegate partitioning step 3
+    theta: float = 1e-12  # modularity-gain tie tolerance
+    resolution: float = 1.0  # Reichardt-Bornholdt gamma (1.0 = paper)
+    sync_mode: str = "full"  # community-state sync: "full" | "delta"
+    ghost_mode: str = "full"  # ghost label exchange: "full" | "delta"
+    refine: bool = False  # split internally disconnected communities
+    min_q_gain: float = 1e-9  # outer-loop stopping criterion
+    max_inner: int = 100  # inner iterations per level (safety valve)
+    stall_patience: int = 3  # tolerated non-improving inner iterations
+    max_levels: int = 50
+    timeout: float = 600.0  # simulated-rank deadlock timeout (seconds)
+
+
+@dataclass
+class LevelReport:
+    """Per-level convergence record (drives Fig. 5)."""
+
+    level: int
+    with_delegates: bool
+    q_history: list[float]
+    moves_history: list[int]
+    n_iterations: int
+    converged: bool
+    q_final: float = 0.0  # Q of the state actually kept for this level
+
+
+@dataclass
+class DistributedResult:
+    """Output of :func:`distributed_louvain`."""
+
+    assignment: np.ndarray  # flat community id per original vertex
+    modularity: float  # Q computed by the distributed algorithm itself
+    modularity_per_level: list[float]
+    levels: list[LevelReport]
+    n_levels: int
+    stats: RunStats  # measured per-rank counters
+    partition: Partition
+    wall_time: float  # real seconds spent simulating
+    partition_time: float  # real seconds spent partitioning
+    level_mappings: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.assignment.max()) + 1 if self.assignment.size else 0
+
+    def dendrogram(self):
+        """The community hierarchy as a
+        :class:`~repro.core.dendrogram.Dendrogram`."""
+        from repro.core.dendrogram import Dendrogram
+
+        return Dendrogram(self.level_mappings[0].shape[0], self.level_mappings)
+
+    def summary(self) -> str:
+        """Human-readable run report (communities, Q, levels, runtime
+        counters via :func:`repro.runtime.trace.summarize`)."""
+        from repro.runtime.trace import summarize
+
+        lines = [
+            f"communities      : {self.n_communities}",
+            f"modularity Q     : {self.modularity:.6f}",
+            f"levels           : {self.n_levels} "
+            f"(Q per level: {[round(q, 4) for q in self.modularity_per_level]})",
+            f"partition        : {self.partition.kind}, "
+            f"{self.partition.hub_global_ids.size} hub delegates",
+            f"wall time        : {self.wall_time:.3f}s simulation "
+            f"+ {self.partition_time:.3f}s partitioning",
+            summarize(self.stats),
+        ]
+        return "\n".join(lines)
+
+
+def _worker(comm, partition: Partition, cfg: DistributedConfig):
+    """The SPMD program: stages 2-4 of Algorithm 1 on one rank."""
+    lg = partition.locals[comm.rank]
+    heuristic = get_heuristic(cfg.heuristic)
+    level_maps: list[tuple[np.ndarray, np.ndarray]] = []
+    reports: list[LevelReport] = []
+
+    # ---- stage 2: clustering with delegates (one level) ----------------
+    clustering = LocalClustering(
+        comm,
+        lg,
+        heuristic,
+        theta=cfg.theta,
+        max_inner=cfg.max_inner,
+        phase_prefix="s1:",
+        stall_patience=cfg.stall_patience,
+        resolution=cfg.resolution,
+        sync_mode=cfg.sync_mode,
+        ghost_mode=cfg.ghost_mode,
+    )
+    outcome = clustering.run()
+    reports.append(
+        LevelReport(
+            level=0,
+            with_delegates=lg.n_hubs > 0,
+            q_history=outcome.q_history,
+            moves_history=outcome.moves_history,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
+            q_final=outcome.q_final,
+        )
+    )
+    q_prev = outcome.q_final
+
+    # ---- stage 3: merge + 1D re-partition ------------------------------
+    with comm.phase("s1:merge"):
+        lg, fine_ids, coarse_ids = merge_level(comm, lg, outcome.comm_of)
+    level_maps.append((fine_ids, coarse_ids))
+
+    # ---- stage 4: clustering without delegates -------------------------
+    for level in range(1, cfg.max_levels):
+        clustering = LocalClustering(
+            comm,
+            lg,
+            heuristic,
+            theta=cfg.theta,
+            max_inner=cfg.max_inner,
+            phase_prefix="s2:",
+            stall_patience=cfg.stall_patience,
+            resolution=cfg.resolution,
+            sync_mode=cfg.sync_mode,
+            ghost_mode=cfg.ghost_mode,
+        )
+        outcome = clustering.run()
+        q = outcome.q_final
+        reports.append(
+            LevelReport(
+                level=level,
+                with_delegates=False,
+                q_history=outcome.q_history,
+                moves_history=outcome.moves_history,
+                n_iterations=outcome.n_iterations,
+                converged=outcome.converged,
+                q_final=outcome.q_final,
+            )
+        )
+        # Alg. 1 line 16: stop on no modularity improvement.  The check
+        # runs BEFORE merging so a non-improving (or, under an unsafe
+        # heuristic, degrading) level is discarded and the final
+        # assignment is exactly the state whose Q we report.
+        if q - q_prev < cfg.min_q_gain:
+            break
+        q_prev = q
+        with comm.phase("s2:merge"):
+            lg, fine_ids, coarse_ids = merge_level(comm, lg, outcome.comm_of)
+        level_maps.append((fine_ids, coarse_ids))
+
+    return level_maps, reports, q_prev
+
+
+def distributed_louvain(
+    graph: CSRGraph,
+    n_ranks: int,
+    config: DistributedConfig | None = None,
+) -> DistributedResult:
+    """Run the full distributed Louvain pipeline on ``n_ranks`` simulated
+    processors.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import karate_club
+    >>> result = distributed_louvain(karate_club(), n_ranks=4)
+    >>> result.modularity > 0.35
+    True
+    """
+    cfg = config or DistributedConfig()
+    t0 = time.perf_counter()
+    if cfg.partitioning == "delegate":
+        partition = delegate_partition(
+            graph, n_ranks, d_high=cfg.d_high, rebalance=cfg.rebalance
+        )
+    elif cfg.partitioning == "1d":
+        partition = oned_partition(graph, n_ranks)
+    else:
+        raise ValueError(f"unknown partitioning {cfg.partitioning!r}")
+    t_part = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    spmd = run_spmd(n_ranks, _worker, partition, cfg, timeout=cfg.timeout)
+    wall = time.perf_counter() - t1
+
+    # compose level maps into a flat assignment on the original graph
+    level_maps_all = [res[0] for res in spmd.results]
+    n_levels = len(level_maps_all[0])
+    flat: np.ndarray | None = None
+    level_mappings: list[np.ndarray] = []
+    for lvl in range(n_levels):
+        ids = np.concatenate([lm[lvl][0] for lm in level_maps_all])
+        coarse = np.concatenate([lm[lvl][1] for lm in level_maps_all])
+        mapping = np.full(int(ids.max()) + 1 if ids.size else 0, -1, dtype=np.int64)
+        mapping[ids] = coarse
+        level_mappings.append(mapping)
+        flat = mapping if flat is None else mapping[flat]
+    assert flat is not None and not np.any(flat < 0), "incomplete level mapping"
+
+    reports = spmd.results[0][1]  # Q histories are allreduced -> identical
+    q_final = spmd.results[0][2]
+    q_per_level = [r.q_final for r in reports if r.q_history]
+
+    if cfg.refine:
+        from repro.core.modularity import modularity as compute_q
+        from repro.core.refinement import split_disconnected_communities
+
+        refined = split_disconnected_communities(graph, flat)
+        if not np.array_equal(refined, flat):
+            # refinement SPLITS communities, so it cannot be appended as a
+            # coarsening level; the dendrogram collapses to the refined
+            # flat assignment
+            flat = refined
+            q_final = compute_q(graph, flat, cfg.resolution)
+            level_mappings = [flat.copy()]
+            q_per_level = q_per_level + [float(q_final)]
+
+    return DistributedResult(
+        assignment=flat,
+        modularity=float(q_final),
+        modularity_per_level=q_per_level,
+        levels=reports,
+        n_levels=len(reports),
+        stats=spmd.stats,
+        partition=partition,
+        wall_time=wall,
+        partition_time=t_part,
+        level_mappings=level_mappings,
+    )

@@ -1,0 +1,612 @@
+"""Parallel local clustering (paper Algorithm 2).
+
+Runs on one rank against a :class:`~repro.partition.distgraph.LocalGraph`.
+Each *inner iteration* is one BSP round:
+
+1. ``find_best``          — sweep the rank's row vertices (owned low-degree
+   vertices, then hub delegates), moving owned vertices greedily/heuristic-
+   gated with immediate local updates, and *recording proposals* for hubs;
+2. ``bcast_delegates``    — elementwise (gain, label) max-reduction over all
+   ranks' hub proposals, applying the winning move everywhere (Alg. 1 l. 4);
+3. ``swap_ghost``         — exchange owned-vertex community labels with the
+   ranks holding them as ghosts (Alg. 1 l. 5);
+4. ``other``              — owner-aggregated resynchronisation of
+   ``sigma_tot`` / ``sigma_in`` / community sizes, partial-modularity
+   computation, and the global Allreduce of Q and the move count
+   (Alg. 1 l. 6, Alg. 2 l. 16-25).
+
+The iteration repeats until no vertex changes community anywhere.
+
+Community-state protocol: community label ``c`` is *owned* by rank
+``c % p``.  Member facts are contributed by the rank that decides them — a
+low-degree vertex's owner, or rank ``h % p`` for hub ``h`` — and edge facts
+by whichever rank stores the directed entry; owners therefore see each
+member and each directed entry exactly once, making their per-community
+aggregates exact.  Subscriber ranks then pull ``(sigma_tot, size)`` for
+every community they reference.  Between synchronisation points remote
+aggregates go stale — that staleness is precisely what the paper's enhanced
+heuristic defends against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.heuristics import Candidate, MoveHeuristic
+from repro.partition.distgraph import LocalGraph
+from repro.runtime.comm import SimComm
+
+__all__ = ["LocalClustering", "LevelOutcome"]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_F64 = np.zeros(0, dtype=np.float64)
+
+
+@dataclass
+class LevelOutcome:
+    """Result of one clustering level on one rank."""
+
+    comm_of: np.ndarray  # final community label per local vertex
+    q_history: list[float]  # global Q after each inner iteration
+    moves_history: list[int] = field(default_factory=list)
+    n_iterations: int = 0
+    converged: bool = True
+    q_final: float = 0.0  # Q of the state in comm_of (best iteration)
+
+
+class LocalClustering:
+    """One level of Algorithm 2 on one rank."""
+
+    def __init__(
+        self,
+        comm: SimComm,
+        lg: LocalGraph,
+        heuristic: MoveHeuristic,
+        theta: float = 1e-12,
+        max_inner: int = 100,
+        phase_prefix: str = "",
+        stall_patience: int = 3,
+        resolution: float = 1.0,
+        sync_mode: str = "full",
+        ghost_mode: str = "full",
+    ) -> None:
+        if sync_mode not in ("full", "delta"):
+            raise ValueError("sync_mode must be 'full' or 'delta'")
+        if ghost_mode not in ("full", "delta"):
+            raise ValueError("ghost_mode must be 'full' or 'delta'")
+        self.comm = comm
+        self.lg = lg
+        self.heuristic = heuristic
+        self.theta = theta
+        self.max_inner = max_inner
+        self.pfx = phase_prefix
+        self.stall_patience = stall_patience
+        self.resolution = resolution
+        self.sync_mode = sync_mode
+        self.ghost_mode = ghost_mode
+        # delta-sync state: this rank's last reported contributions and the
+        # persistent owner-side aggregates it maintains across iterations
+        self._prev_contrib: dict[int, tuple[float, float, float]] | None = None
+        self._owner_agg: dict[int, list[float]] = {}
+        self._subscribers: dict[int, set[int]] = {}
+        # delta-ghost state: labels last sent to each subscriber peer
+        self._prev_ghost_sent: dict[int, np.ndarray] = {}
+        self.two_m = 2.0 * lg.m_global if lg.m_global > 0 else 1.0
+
+        self.comm_of = lg.global_ids.astype(np.int64).copy()
+        self.sigma_tot: dict[int, float] = {}
+        self.csize: dict[int, int] = {}
+        self.local_members: dict[int, int] = {}
+
+        # hub bookkeeping: rank h % p is the designated contributor for hub h
+        self._hub_designated = (
+            lg.hub_global_ids % comm.size == comm.rank
+            if lg.n_hubs
+            else np.zeros(0, dtype=bool)
+        )
+        # precompute ghost-exchange index arrays
+        owned = lg.global_ids[: lg.n_owned]
+        ghosts = lg.global_ids[lg.n_rows :]
+        self._send_idx = {
+            peer: np.searchsorted(owned, ids) for peer, ids in lg.send_to.items()
+        }
+        self._recv_idx = {
+            peer: lg.n_rows + np.searchsorted(ghosts, ids)
+            for peer, ids in lg.recv_from.items()
+        }
+        # directed-entry source rows (for sigma_in contributions)
+        self._entry_rows = np.repeat(
+            np.arange(lg.n_rows, dtype=np.int64), np.diff(lg.indptr)
+        )
+        self._is_self_entry = lg.indices == self._entry_rows
+        # plain-list views of the immutable CSR: scalar indexing of numpy
+        # arrays dominates the sweep cost otherwise (~3x slower)
+        self._idx_list: list[int] = lg.indices.tolist()
+        self._w_list: list[float] = lg.weights.tolist()
+        self._indptr_list: list[int] = lg.indptr.tolist()
+        self._wdeg_list: list[float] = lg.row_weighted_degree.tolist()
+        self._cof_list: list[int] = self.comm_of.tolist()
+
+    # ------------------------------------------------------------------
+    # Phase 4: aggregate synchronisation + modularity
+    # ------------------------------------------------------------------
+    def _owner(self, labels: np.ndarray) -> np.ndarray:
+        return labels % self.comm.size
+
+    def _contributions(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(labels, sigma_tot, size, sigma_in) facts this rank must report."""
+        lg = self.lg
+        # member facts: owned low vertices + designated hubs
+        mem_local = np.arange(lg.n_owned, dtype=np.int64)
+        if lg.n_hubs:
+            hub_rows = lg.n_owned + np.flatnonzero(self._hub_designated)
+            mem_local = np.concatenate([mem_local, hub_rows])
+        mem_labels = self.comm_of[mem_local]
+        mem_w = lg.row_weighted_degree[mem_local]
+
+        # edge facts: directed entries internal to a community
+        cu = self.comm_of[self._entry_rows]
+        cv = self.comm_of[lg.indices]
+        internal = cu == cv
+        w_in = np.where(self._is_self_entry, 2.0 * lg.weights, lg.weights)[internal]
+        in_labels = cu[internal]
+
+        labels = np.concatenate([mem_labels, in_labels])
+        tot = np.concatenate([mem_w, np.zeros(in_labels.size)])
+        cnt = np.concatenate(
+            [np.ones(mem_labels.size), np.zeros(in_labels.size)]
+        )
+        s_in = np.concatenate([np.zeros(mem_labels.size), w_in])
+        # pre-aggregate per label before sending
+        uniq, inv = np.unique(labels, return_inverse=True)
+        tot_a = np.zeros(uniq.size)
+        cnt_a = np.zeros(uniq.size)
+        in_a = np.zeros(uniq.size)
+        np.add.at(tot_a, inv, tot)
+        np.add.at(cnt_a, inv, cnt)
+        np.add.at(in_a, inv, s_in)
+        return uniq, tot_a, cnt_a, in_a
+
+    def sync_aggregates(self) -> float:
+        """Synchronise exact community aggregates and compute global Q.
+
+        In ``full`` mode every rank ships its complete per-community
+        contributions each iteration and owners rebuild from scratch.  In
+        ``delta`` mode ranks diff against their previous report and ship
+        only the changes; owners maintain persistent aggregates.  Both
+        modes yield identical aggregates (up to float accumulation order) —
+        delta trades a little bookkeeping for drastically less traffic in
+        the late, low-movement iterations (see ``bench_ablation_sync.py``).
+        """
+        comm = self.comm
+        labels, tot, cnt, s_in = self._contributions()
+
+        if self.sync_mode == "delta" and self._prev_contrib is not None:
+            current = {
+                int(lab): (t, c, i)
+                for lab, t, c, i in zip(
+                    labels.tolist(), tot.tolist(), cnt.tolist(), s_in.tolist()
+                )
+            }
+            d_lab, d_tot, d_cnt, d_in = [], [], [], []
+            for lab in current.keys() | self._prev_contrib.keys():
+                ct, cc, ci = current.get(lab, (0.0, 0.0, 0.0))
+                pt, pc, pi = self._prev_contrib.get(lab, (0.0, 0.0, 0.0))
+                if ct != pt or cc != pc or ci != pi:
+                    d_lab.append(lab)
+                    d_tot.append(ct - pt)
+                    d_cnt.append(cc - pc)
+                    d_in.append(ci - pi)
+            self._prev_contrib = current
+            labels = np.asarray(d_lab, dtype=np.int64)
+            tot = np.asarray(d_tot)
+            cnt = np.asarray(d_cnt)
+            s_in = np.asarray(d_in)
+        elif self.sync_mode == "delta":
+            self._prev_contrib = {
+                int(lab): (t, c, i)
+                for lab, t, c, i in zip(
+                    labels.tolist(), tot.tolist(), cnt.tolist(), s_in.tolist()
+                )
+            }
+
+        owner = self._owner(labels) if labels.size else labels
+        payloads = []
+        for r in range(comm.size):
+            m = owner == r
+            payloads.append((labels[m], tot[m], cnt[m], s_in[m]))
+        received = comm.alltoall(payloads)
+
+        own = self._owner_agg if self.sync_mode == "delta" else {}
+        changed: set[int] = set()
+        for lab_a, tot_a, cnt_a, in_a in received:
+            for lab, t, c, i in zip(
+                lab_a.tolist(), tot_a.tolist(), cnt_a.tolist(), in_a.tolist()
+            ):
+                acc = own.get(lab)
+                changed.add(lab)
+                if acc is None:
+                    own[lab] = [t, c, i]
+                else:
+                    acc[0] += t
+                    acc[1] += c
+                    acc[2] += i
+        if self.sync_mode == "delta":
+            # drop communities whose membership reached zero (a dead label
+            # cannot be referenced again: moves only target communities with
+            # live members)
+            for lab in [k for k, v in own.items() if v[1] <= 0.5]:
+                del own[lab]
+                self._subscribers.pop(lab, None)
+            self._owner_agg = own
+
+        if self.sync_mode == "delta":
+            self._delta_pull(own, changed)
+        else:
+            self._full_pull(own)
+
+        # local membership census over OWNED vertices only: a hub delegate
+        # being resident everywhere does not make its community's aggregates
+        # any fresher here, so hubs must not mark communities as "local"
+        # for the heuristics
+        self.local_members = {}
+        for lab in self.comm_of[: self.lg.n_owned].tolist():
+            self.local_members[lab] = self.local_members.get(lab, 0) + 1
+
+        # partial modularity over owned communities (each exactly once)
+        q_part = 0.0
+        for lab, (t, _c, i) in own.items():
+            q_part += i / self.two_m - self.resolution * (t / self.two_m) ** 2
+        return float(comm.allreduce(q_part))
+
+    # ------------------------------------------------------------------
+    # Pull protocols
+    # ------------------------------------------------------------------
+    def _full_pull(self, own: dict[int, list[float]]) -> None:
+        """Request (sigma_tot, size) for every referenced community and
+        rebuild the subscriber caches from scratch."""
+        comm = self.comm
+        needed = np.unique(self.comm_of)
+        need_owner = self._owner(needed)
+        requests = [needed[need_owner == r] for r in range(comm.size)]
+        incoming = comm.alltoall(requests)
+        replies = []
+        for req in incoming:
+            vals = np.empty((req.size, 2))
+            for i, lab in enumerate(req.tolist()):
+                acc = own.get(lab)
+                if acc is None:
+                    raise RuntimeError(
+                        f"rank {comm.rank}: no aggregate for community {lab}"
+                    )
+                vals[i, 0] = acc[0]
+                vals[i, 1] = acc[1]
+            replies.append((req, vals))
+        answered = comm.alltoall(replies)
+
+        self.sigma_tot = {}
+        self.csize = {}
+        for req, vals in answered:
+            for lab, (t, c) in zip(req.tolist(), vals.tolist()):
+                self.sigma_tot[lab] = t
+                self.csize[lab] = int(round(c))
+
+    def _delta_pull(self, own: dict[int, list[float]], changed: set[int]) -> None:
+        """Push/subscribe protocol: owners push updates for *changed*
+        communities to registered subscribers; ranks request only
+        communities missing from their cache (first reference), which also
+        registers the subscription."""
+        comm = self.comm
+
+        # 1. push changed values to subscribers
+        push: list[tuple[list[int], list[float], list[float]]] = [
+            ([], [], []) for _ in range(comm.size)
+        ]
+        for lab in changed:
+            acc = own.get(lab)
+            if acc is None:
+                continue  # died this iteration; no one may reference it
+            for r in self._subscribers.get(lab, ()):  # registered interest
+                push[r][0].append(lab)
+                push[r][1].append(acc[0])
+                push[r][2].append(acc[1])
+        pushed = comm.alltoall(
+            [
+                (
+                    np.asarray(p[0], dtype=np.int64),
+                    np.asarray(p[1]),
+                    np.asarray(p[2]),
+                )
+                for p in push
+            ]
+        )
+        for lab_a, tot_a, cnt_a in pushed:
+            for lab, t, c in zip(lab_a.tolist(), tot_a.tolist(), cnt_a.tolist()):
+                self.sigma_tot[lab] = t
+                self.csize[lab] = int(round(c))
+
+        # 2. request communities not yet cached (and subscribe to them)
+        needed = np.unique(self.comm_of)
+        missing = np.asarray(
+            [lab for lab in needed.tolist() if lab not in self.sigma_tot],
+            dtype=np.int64,
+        )
+        need_owner = self._owner(missing) if missing.size else missing
+        requests = [missing[need_owner == r] for r in range(comm.size)]
+        incoming = comm.alltoall(requests)
+        replies = []
+        for src_rank, req in enumerate(incoming):
+            vals = np.empty((req.size, 2))
+            for i, lab in enumerate(req.tolist()):
+                acc = own.get(lab)
+                if acc is None:
+                    raise RuntimeError(
+                        f"rank {comm.rank}: no aggregate for community {lab}"
+                    )
+                vals[i, 0] = acc[0]
+                vals[i, 1] = acc[1]
+                self._subscribers.setdefault(lab, set()).add(src_rank)
+            replies.append((req, vals))
+        answered = comm.alltoall(replies)
+        for req, vals in answered:
+            for lab, (t, c) in zip(req.tolist(), vals.tolist()):
+                self.sigma_tot[lab] = t
+                self.csize[lab] = int(round(c))
+
+    # ------------------------------------------------------------------
+    # Phase 1: the local sweep
+    # ------------------------------------------------------------------
+    def _evaluate_vertex(
+        self, u: int
+    ) -> tuple[int, float, float]:
+        """Heuristic-gated best move for row vertex ``u``.
+
+        Returns ``(chosen_label, chosen_gain, stay_gain)`` where gains are in
+        the scaled units of Eq. 4 (relative ordering only).  Caches are NOT
+        mutated.
+        """
+        s = self._indptr_list[u]
+        e = self._indptr_list[u + 1]
+        self.comm.add_compute(e - s)
+        cof = self._cof_list
+        cu = cof[u]
+        wu = self._wdeg_list[u]
+        links: dict[int, float] = {}
+        idx = self._idx_list
+        wts = self._w_list
+        links_get = links.get
+        for k in range(s, e):
+            v = idx[k]
+            if v == u:
+                continue
+            c = cof[v]
+            links[c] = links_get(c, 0.0) + wts[k]
+
+        st_cu = self.sigma_tot.get(cu, wu) - wu  # sigma_tot(cu) without u
+        stay_gain = links.get(cu, 0.0) - self.resolution * st_cu * wu / self.two_m
+        cu_size = self.csize.get(cu, 1)
+        candidates = []
+        for c, w_uc in links.items():
+            if c == cu:
+                continue
+            gain = (
+                w_uc
+                - self.resolution * self.sigma_tot.get(c, 0.0) * wu / self.two_m
+            )
+            candidates.append(
+                Candidate(
+                    label=c,
+                    gain=gain,
+                    is_local=self.local_members.get(c, 0) > 0,
+                    size=self.csize.get(c, 1),
+                )
+            )
+        chosen = self.heuristic.select(
+            cu, cu_size, stay_gain, candidates, self.theta
+        )
+        if chosen == cu:
+            return cu, stay_gain, stay_gain
+        for c in candidates:
+            if c.label == chosen:
+                return chosen, c.gain, stay_gain
+        raise AssertionError("heuristic chose a non-candidate community")
+
+    def _apply_move(self, u: int, new_label: int) -> None:
+        """Move row vertex ``u``, optimistically updating local caches."""
+        cu = int(self.comm_of[u])
+        wu = float(self.lg.row_weighted_degree[u])
+        self.comm_of[u] = new_label
+        self._cof_list[u] = new_label
+        self.sigma_tot[cu] = self.sigma_tot.get(cu, wu) - wu
+        self.csize[cu] = self.csize.get(cu, 1) - 1
+        self.sigma_tot[new_label] = self.sigma_tot.get(new_label, 0.0) + wu
+        self.csize[new_label] = self.csize.get(new_label, 0) + 1
+        if u < self.lg.n_owned:  # hubs never count toward "local" communities
+            self.local_members[cu] = self.local_members.get(cu, 1) - 1
+            self.local_members[new_label] = (
+                self.local_members.get(new_label, 0) + 1
+            )
+
+    def find_best_pass(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Sweep all row vertices.  Owned vertices move immediately
+        (Gauss–Seidel within the rank); hub moves become proposals.
+
+        Returns ``(n_owned_moves, hub_gains, hub_targets)``.
+        """
+        lg = self.lg
+        moved = 0
+        hub_gain = np.zeros(lg.n_hubs)
+        hub_target = (
+            self.comm_of[lg.n_owned : lg.n_rows].astype(np.float64)
+            if lg.n_hubs
+            else _EMPTY_F64
+        )
+        # refresh the list snapshot: ghost swaps / hub consensus / restores
+        # mutate the numpy array between passes
+        self._cof_list = self.comm_of.tolist()
+        for u in range(lg.n_owned):
+            chosen, _g, _s = self._evaluate_vertex(u)
+            if chosen != self._cof_list[u]:
+                self._apply_move(u, chosen)
+                moved += 1
+        for j in range(lg.n_hubs):
+            u = lg.n_owned + j
+            if self._indptr_list[u] == self._indptr_list[u + 1]:
+                continue  # no local edges of this hub: no basis to propose
+            chosen, gain, stay = self._evaluate_vertex(u)
+            if chosen != self._cof_list[u]:
+                hub_gain[j] = gain - stay
+                hub_target[j] = float(chosen)
+        return moved, hub_gain, hub_target
+
+    # ------------------------------------------------------------------
+    # Phase 2: delegate consensus
+    # ------------------------------------------------------------------
+    def broadcast_delegates(
+        self, hub_gain: np.ndarray, hub_target: np.ndarray
+    ) -> int:
+        """Allreduce per-hub (gain, target): the proposal with the highest
+        modularity gain wins; ties go to the smaller target label.  Applies
+        winning moves on every rank; returns this rank's share of the global
+        move count (counted once, by the designated rank)."""
+        lg = self.lg
+        if lg.n_hubs == 0:
+            return 0
+
+        def hub_op(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            ga, gb = a[0], b[0]
+            la, lb = a[1], b[1]
+            pick_a = (ga > gb) | ((ga == gb) & (la <= lb))
+            return np.where(pick_a, a, b)
+
+        stacked = np.stack([hub_gain, hub_target])
+        winner = self.comm.allreduce(stacked, op=hub_op)
+        win_gain = winner[0]
+        win_target = winner[1].astype(np.int64)
+
+        moves_counted = 0
+        for j in range(lg.n_hubs):
+            u = lg.n_owned + j
+            cu = int(self.comm_of[u])
+            tgt = int(win_target[j])
+            if win_gain[j] > self.theta and tgt != cu:
+                self._apply_move(u, tgt)
+                # _apply_move adjusts local_members correctly (hub is a row),
+                # but csize/sigma_tot were adjusted once per rank; that is
+                # fine — they are fully rebuilt in sync_aggregates
+                if self._hub_designated[j]:
+                    moves_counted += 1
+        return moves_counted
+
+    # ------------------------------------------------------------------
+    # Phase 3: ghost swap
+    # ------------------------------------------------------------------
+    def swap_ghosts(self) -> None:
+        if self.ghost_mode == "delta":
+            self._swap_ghosts_delta()
+        else:
+            self._swap_ghosts_full()
+
+    def _swap_ghosts_full(self) -> None:
+        comm = self.comm
+        payloads: list[np.ndarray] = []
+        for r in range(comm.size):
+            idx = self._send_idx.get(r)
+            payloads.append(self.comm_of[idx] if idx is not None else _EMPTY_I64)
+        received = comm.alltoall(payloads)
+        for r, values in enumerate(received):
+            idx = self._recv_idx.get(r)
+            if idx is not None and len(values):
+                self.comm_of[idx] = values
+
+    def _swap_ghosts_delta(self) -> None:
+        """Send only owned-vertex labels that changed since the last swap.
+
+        Ghost exchange dominates the wire volume (Fig. 6(b) is exactly
+        about it), and unlike community aggregates the per-vertex labels
+        quiesce quickly — late iterations move a handful of vertices, so
+        the deltas shrink to near nothing (see ``bench_ablation_sync.py``).
+        The first swap of a level sends everything.
+        """
+        comm = self.comm
+        payloads: list[tuple[np.ndarray, np.ndarray]] = []
+        for r in range(comm.size):
+            idx = self._send_idx.get(r)
+            if idx is None:
+                payloads.append((_EMPTY_I64, _EMPTY_I64))
+                continue
+            labels = self.comm_of[idx]
+            prev = self._prev_ghost_sent.get(r)
+            if prev is None:
+                positions = np.arange(idx.size, dtype=np.int64)
+                send_labels = labels.copy()
+            else:
+                changed = np.flatnonzero(labels != prev)
+                positions = changed.astype(np.int64)
+                send_labels = labels[changed]
+            self._prev_ghost_sent[r] = labels.copy()
+            payloads.append((positions, send_labels))
+        received = comm.alltoall(payloads)
+        for r, (positions, values) in enumerate(received):
+            idx = self._recv_idx.get(r)
+            if idx is not None and len(values):
+                self.comm_of[idx[positions]] = values
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self) -> LevelOutcome:
+        comm = self.comm
+        with comm.phase(self.pfx + "other"):
+            self.sync_aggregates()
+
+        q_history: list[float] = []
+        moves_history: list[int] = []
+        converged = False
+        best_q = -np.inf
+        best_comm: np.ndarray | None = None
+        stall = 0
+        for _it in range(self.max_inner):
+            with comm.phase(self.pfx + "find_best"):
+                moved, hub_gain, hub_target = self.find_best_pass()
+            with comm.phase(self.pfx + "bcast_delegates"):
+                moved += self.broadcast_delegates(hub_gain, hub_target)
+            with comm.phase(self.pfx + "swap_ghost"):
+                self.swap_ghosts()
+            with comm.phase(self.pfx + "other"):
+                q = self.sync_aggregates()
+                total_moves = int(comm.allreduce(moved))
+            q_history.append(q)
+            moves_history.append(total_moves)
+            # q is allreduced, so every rank snapshots/stalls identically
+            if q > best_q + self.theta:
+                best_q = q
+                best_comm = self.comm_of.copy()
+                stall = 0
+            else:
+                stall += 1
+            if total_moves == 0:
+                converged = True
+                break
+            # Alg. 2 line 27: the inner loop also ends when modularity stops
+            # improving — the safety valve against cross-rank oscillation
+            # that label gating cannot reach (multi-community cycles).
+            # `stall_patience` misses are tolerated because Jacobi-style
+            # cross-rank updates legitimately dip before recovering.
+            if stall >= self.stall_patience:
+                converged = True
+                break
+        # hand back the best state seen, not wherever the oscillation
+        # happened to stop (identical on all ranks — see above)
+        if best_comm is not None:
+            self.comm_of = best_comm
+        return LevelOutcome(
+            comm_of=self.comm_of,
+            q_history=q_history,
+            moves_history=moves_history,
+            n_iterations=len(moves_history),
+            converged=converged,
+            q_final=float(best_q) if best_comm is not None else 0.0,
+        )

@@ -1,0 +1,186 @@
+"""Distributed graph merging (paper Algorithm 3).
+
+Collapses the converged communities of one clustering level into the
+vertices of a coarser graph, redistributed by 1D round-robin partitioning
+(Alg. 1 line 8): community labels are densified to ``0 .. k-1`` and coarse
+vertex ``c`` lands on rank ``c % p``.
+
+Weight bookkeeping: every rank aggregates its directed entries into
+``D[c][d] = sum of w over entries (u -> v), u in c, v in d`` with self-loop
+entries doubled.  Summed across ranks this gives ``D[c][d] = w(c, d)`` for
+``c != d`` and ``D[c][c] = sigma_in(c)``; the coarse CSR stores off-diagonal
+entries at full weight and the self-loop at ``D[c][c] / 2``, preserving both
+``m`` and all community degrees (see :mod:`repro.core.coarsen` for the
+sequential equivalent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.distgraph import LocalGraph
+from repro.runtime.comm import SimComm
+
+__all__ = ["merge_level"]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_F64 = np.zeros(0, dtype=np.float64)
+
+
+def _aggregate_pairs(
+    cu: np.ndarray, cv: np.ndarray, w: np.ndarray, n_global: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum ``w`` over identical ``(cu, cv)`` pairs."""
+    if cu.size == 0:
+        return _EMPTY_I64, _EMPTY_I64, _EMPTY_F64
+    key = cu * np.int64(n_global) + cv
+    uniq, inv = np.unique(key, return_inverse=True)
+    w_sum = np.zeros(uniq.size)
+    np.add.at(w_sum, inv, w)
+    return (uniq // n_global).astype(np.int64), (uniq % n_global).astype(np.int64), w_sum
+
+
+def merge_level(
+    comm: SimComm, lg: LocalGraph, comm_of: np.ndarray
+) -> tuple[LocalGraph, np.ndarray, np.ndarray]:
+    """Merge communities into a new 1D-partitioned :class:`LocalGraph`.
+
+    Parameters
+    ----------
+    comm_of:
+        Final community label per local vertex from the converged level.
+
+    Returns
+    -------
+    (new_local_graph, fine_ids, coarse_ids)
+        ``fine_ids[i]`` is a global vertex id of the *current* level that
+        this rank is authoritative for (owned low vertices and designated
+        hubs) and ``coarse_ids[i]`` its dense community id in the new graph.
+    """
+    size = comm.size
+    n_global = lg.n_global
+
+    # --- 1. directed aggregation, keyed to the community owner ----------
+    entry_rows = np.repeat(np.arange(lg.n_rows, dtype=np.int64), np.diff(lg.indptr))
+    cu = comm_of[entry_rows]
+    cv = comm_of[lg.indices]
+    w = np.where(lg.indices == entry_rows, 2.0 * lg.weights, lg.weights)
+    acu, acv, aw = _aggregate_pairs(cu, cv, w, n_global)
+
+    # marker entries keep edgeless communities alive
+    mem_local = np.arange(lg.n_owned, dtype=np.int64)
+    if lg.n_hubs:
+        designated = lg.hub_global_ids % size == comm.rank
+        mem_local = np.concatenate(
+            [mem_local, lg.n_owned + np.flatnonzero(designated)]
+        )
+    mem_labels = np.unique(comm_of[mem_local]) if mem_local.size else _EMPTY_I64
+    acu = np.concatenate([acu, mem_labels])
+    acv = np.concatenate([acv, mem_labels])
+    aw = np.concatenate([aw, np.zeros(mem_labels.size)])
+
+    owner = acu % size
+    payloads = [
+        (acu[owner == r], acv[owner == r], aw[owner == r]) for r in range(size)
+    ]
+    received = comm.alltoall(payloads)
+
+    rcu = np.concatenate([p[0] for p in received]) if received else _EMPTY_I64
+    rcv = np.concatenate([p[1] for p in received]) if received else _EMPTY_I64
+    rw = np.concatenate([p[2] for p in received]) if received else _EMPTY_F64
+    rcu, rcv, rw = _aggregate_pairs(rcu, rcv, rw, n_global)
+
+    # --- 2. dense global relabelling ------------------------------------
+    my_labels = np.unique(rcu)
+    all_labels = comm.allgather(my_labels)
+    global_labels = np.sort(np.concatenate(all_labels))  # disjoint by owner
+    k = int(global_labels.size)
+    dense_cu = np.searchsorted(global_labels, rcu)
+    dense_cv = np.searchsorted(global_labels, rcv)
+
+    # authoritative level mapping for composition later
+    fine_ids = lg.global_ids[mem_local]
+    coarse_ids = np.searchsorted(global_labels, comm_of[mem_local])
+
+    # --- 3. redistribute rows to the coarse graph's 1D owners -----------
+    new_owner = dense_cu % size
+    payloads = [
+        (
+            dense_cu[new_owner == r],
+            dense_cv[new_owner == r],
+            rw[new_owner == r],
+        )
+        for r in range(size)
+    ]
+    received = comm.alltoall(payloads)
+    ncu = np.concatenate([p[0] for p in received]) if received else _EMPTY_I64
+    ncv = np.concatenate([p[1] for p in received]) if received else _EMPTY_I64
+    nw = np.concatenate([p[2] for p in received]) if received else _EMPTY_F64
+    ncu, ncv, nw = _aggregate_pairs(ncu, ncv, nw, max(k, 1))
+
+    # --- 4. assemble the new LocalGraph ---------------------------------
+    owned = np.arange(comm.rank, k, size, dtype=np.int64)
+    # degrees come for free: wdeg(c) = sum_d D[c][d] (diagonal pre-doubled)
+    wdeg = np.zeros(owned.size)
+    owned_pos = {int(c): i for i, c in enumerate(owned)}
+    selfloop = np.zeros(owned.size)
+    keep = nw > 0.0
+    ncu, ncv, nw = ncu[keep], ncv[keep], nw[keep]
+    for c, d, ww in zip(ncu.tolist(), ncv.tolist(), nw.tolist()):
+        i = owned_pos[c]
+        wdeg[i] += ww
+        if c == d:
+            selfloop[i] += ww / 2.0
+
+    ghosts = np.unique(ncv[(ncv % size) != comm.rank])
+    global_ids = np.concatenate([owned, ghosts])
+    local_of = {}
+    for i, g in enumerate(global_ids.tolist()):
+        local_of[g] = i
+
+    # store the self-loop at half its aggregated (doubled) weight
+    stored_w = np.where(ncu == ncv, nw / 2.0, nw)
+    src_local = np.fromiter(
+        (local_of[c] for c in ncu.tolist()), dtype=np.int64, count=ncu.size
+    )
+    dst_local = np.fromiter(
+        (local_of[c] for c in ncv.tolist()), dtype=np.int64, count=ncv.size
+    )
+    order = np.lexsort((dst_local, src_local))
+    src_local, dst_local, stored_w = (
+        src_local[order],
+        dst_local[order],
+        stored_w[order],
+    )
+    counts = np.zeros(owned.size, dtype=np.int64)
+    np.add.at(counts, src_local, 1)
+    indptr = np.zeros(owned.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    new_lg = LocalGraph(
+        rank=comm.rank,
+        size=size,
+        n_global=k,
+        m_global=lg.m_global,
+        global_ids=global_ids,
+        n_owned=int(owned.size),
+        n_hubs=0,
+        indptr=indptr,
+        indices=dst_local,
+        weights=stored_w,
+        row_weighted_degree=wdeg,
+        row_selfloop=selfloop,
+        hub_global_ids=_EMPTY_I64,
+    )
+
+    # --- 5. rebuild ghost-exchange maps distributedly -------------------
+    ghost_owner = ghosts % size
+    requests = [ghosts[ghost_owner == r] for r in range(size)]
+    incoming = comm.alltoall(requests)
+    new_lg.recv_from = {
+        r: requests[r] for r in range(size) if requests[r].size
+    }
+    new_lg.send_to = {
+        r: ids for r, ids in enumerate(incoming) if ids.size
+    }
+    return new_lg, fine_ids, coarse_ids

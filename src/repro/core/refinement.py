@@ -1,0 +1,77 @@
+"""Post-processing refinement: split internally disconnected communities.
+
+Louvain (sequential or distributed) can produce communities whose induced
+subgraph is disconnected — a well-known artifact (the motivation behind the
+Leiden algorithm's refinement phase).  Splitting such a community into its
+connected components never decreases modularity: for a community ``c = A u B``
+with no A-B edges, ``sigma_in`` is unchanged while the null-model penalty
+``(sigma_tot/2m)^2`` strictly shrinks
+(``Q_split - Q_joint = 2 sigma_tot(A) sigma_tot(B) / (2m)^2 >= 0``).
+
+Enable on the distributed pipeline with ``DistributedConfig(refine=True)``
+or call :func:`split_disconnected_communities` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import relabel_communities
+
+__all__ = ["split_disconnected_communities", "count_disconnected_communities"]
+
+
+def _community_components(
+    graph: CSRGraph, assignment: np.ndarray
+) -> np.ndarray:
+    """Label per-vertex connected components *within* each community.
+
+    Returns an array where two vertices share a value iff they are in the
+    same community AND connected through it.
+    """
+    n = graph.n_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    stack: list[int] = []
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        c = assignment[start]
+        labels[start] = next_label
+        stack.append(start)
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if labels[v] < 0 and assignment[v] == c:
+                    labels[v] = next_label
+                    stack.append(int(v))
+        next_label += 1
+    return labels
+
+
+def split_disconnected_communities(
+    graph: CSRGraph, assignment: np.ndarray
+) -> np.ndarray:
+    """Return a refined assignment with every community connected.
+
+    The result's modularity is >= the input's (strictly greater whenever a
+    split actually happens on positive-degree parts); labels are dense.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_vertices,):
+        raise ValueError("assignment must have one label per vertex")
+    return relabel_communities(_community_components(graph, assignment))
+
+
+def count_disconnected_communities(
+    graph: CSRGraph, assignment: np.ndarray
+) -> int:
+    """Number of communities whose induced subgraph is disconnected."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    comps = _community_components(graph, assignment)
+    # communities with more than one internal component
+    pairs = {}
+    for c, k in zip(assignment.tolist(), comps.tolist()):
+        pairs.setdefault(c, set()).add(k)
+    return sum(1 for ks in pairs.values() if len(ks) > 1)

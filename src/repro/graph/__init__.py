@@ -1,0 +1,41 @@
+"""Graph substrate: CSR storage, generators, IO and structural operations.
+
+This package provides the in-memory graph representation used throughout the
+reproduction.  Graphs are undirected and weighted, stored in a symmetric CSR
+(compressed sparse row) layout backed by NumPy arrays: every undirected edge
+``{u, v}`` with ``u != v`` appears in both adjacency lists, while a self-loop
+``(u, u)`` appears exactly once in ``u``'s list.
+
+Weight conventions follow the Louvain literature (Blondel et al. 2008):
+
+* ``weighted_degree(u) = sum_{v != u} w(u, v) + 2 * w(u, u)``
+* ``total_weight m    = sum_u weighted_degree(u) / 2``
+
+so that self-loops contribute twice to a vertex degree and once to ``m``,
+matching :func:`networkx.algorithms.community.modularity`.
+"""
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+from repro.graph.directed import DirectedCSRGraph, build_directed_csr
+from repro.graph.ops import (
+    degree_histogram,
+    induced_subgraph,
+    largest_component,
+    permute_vertices,
+    relabel_communities,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "build_symmetric_csr",
+    "DirectedCSRGraph",
+    "build_directed_csr",
+    "degree_histogram",
+    "induced_subgraph",
+    "largest_component",
+    "permute_vertices",
+    "relabel_communities",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,207 @@
+"""Directed graphs (paper Section III: "our approach can be easily
+extended to directed graphs [15]").
+
+:class:`DirectedCSRGraph` stores the out-adjacency in CSR form.  Directed
+modularity (Leicht & Newman 2008) and the directed Louvain variant live in
+:mod:`repro.core.directed`; :meth:`DirectedCSRGraph.symmetrize` collapses
+the graph to the undirected :class:`~repro.graph.csr.CSRGraph` the
+distributed pipeline operates on — the same reduction Cheong et al. (the
+paper's reference [15]) use for their directed extension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+
+__all__ = ["DirectedCSRGraph", "build_directed_csr"]
+
+
+class DirectedCSRGraph:
+    """A directed, weighted graph in out-CSR form.
+
+    Each directed edge ``(u -> v)`` is stored exactly once, in ``u``'s row;
+    self-loops are allowed.  Conventions for directed modularity:
+    ``out_degree(u) = sum_v w(u, v)`` and ``in_degree(v) = sum_u w(u, v)``
+    (self-loops count once in each), ``total_weight m = sum of all edge
+    weights``.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_in_degrees", "_out_degrees")
+
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if indptr.size == 0 or indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if indices.size != weights.size:
+            raise ValueError("indices and weights must have equal length")
+        for arr in (indptr, indices, weights):
+            arr.setflags(write=False)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self._in_degrees: np.ndarray | None = None
+        self._out_degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_vertices: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        weights=None,
+    ) -> "DirectedCSRGraph":
+        """Build from directed ``(src, dst)`` pairs; duplicates merge by
+        summing weights."""
+        arr = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges), dtype=np.int64
+        )
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array-like")
+        w = (
+            np.ones(arr.shape[0])
+            if weights is None
+            else np.asarray(weights, dtype=np.float64)
+        )
+        if w.shape != (arr.shape[0],):
+            raise ValueError("weights must match the number of edges")
+        return build_directed_csr(n_vertices, arr[:, 0], arr[:, 1], w)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Weighted out-degree per vertex."""
+        if self._out_degrees is None:
+            out = np.zeros(self.n_vertices)
+            rows = np.repeat(
+                np.arange(self.n_vertices, dtype=np.int64), np.diff(self.indptr)
+            )
+            np.add.at(out, rows, self.weights)
+            out.setflags(write=False)
+            self._out_degrees = out
+        return self._out_degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Weighted in-degree per vertex."""
+        if self._in_degrees is None:
+            ind = np.zeros(self.n_vertices)
+            np.add.at(ind, self.indices, self.weights)
+            ind.setflags(write=False)
+            self._in_degrees = ind
+        return self._in_degrees
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    def successors(self, u: int) -> np.ndarray:
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def successor_weights(self, u: int) -> np.ndarray:
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows = np.repeat(
+            np.arange(self.n_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+        return rows, self.indices.copy(), self.weights.copy()
+
+    # ------------------------------------------------------------------
+    def symmetrize(self) -> CSRGraph:
+        """Collapse to an undirected graph: ``w{u,v} = w(u->v) + w(v->u)``.
+
+        This is the reduction the distributed pipeline uses for directed
+        inputs.  Self-loop weights carry over unchanged.
+        """
+        src, dst, w = self.edge_arrays()
+        return build_symmetric_csr(self.n_vertices, src, dst, w)
+
+    def reverse(self) -> "DirectedCSRGraph":
+        """The transpose graph (every edge flipped)."""
+        src, dst, w = self.edge_arrays()
+        return build_directed_csr(self.n_vertices, dst, src, w)
+
+    def validate(self) -> None:
+        n = self.n_vertices
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n
+        ):
+            raise ValueError("neighbour index out of range")
+        if np.any(self.weights < 0):
+            raise ValueError("negative edge weight")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedCSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedCSRGraph(n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, total_weight={self.total_weight:.6g})"
+        )
+
+
+def build_directed_csr(
+    n_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> DirectedCSRGraph:
+    """Build a :class:`DirectedCSRGraph`, merging duplicate edges."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError("src and dst must be 1-D arrays of equal length")
+    if weights is None:
+        weights = np.ones(src.size)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != src.shape:
+            raise ValueError("weights must match edge arrays")
+    if src.size and (
+        min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n_vertices
+    ):
+        raise ValueError("edge endpoint out of range")
+    # merge duplicates
+    if src.size:
+        key = src * np.int64(max(n_vertices, 1)) + dst
+        uniq, inv = np.unique(key, return_inverse=True)
+        w = np.zeros(uniq.size)
+        np.add.at(w, inv, weights)
+        src = (uniq // max(n_vertices, 1)).astype(np.int64)
+        dst = (uniq % max(n_vertices, 1)).astype(np.int64)
+        weights = w
+    counts = np.zeros(n_vertices, dtype=np.int64)
+    np.add.at(counts, src, 1)
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.lexsort((dst, src))
+    return DirectedCSRGraph(indptr, dst[order], weights[order])

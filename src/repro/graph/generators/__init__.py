@@ -1,0 +1,42 @@
+"""Synthetic graph generators.
+
+These provide both the synthetic workloads the paper itself uses (R-MAT with
+Graph500 parameters, Barabási–Albert, LFR) and scale-free *analogues* for the
+real-world datasets in Table I that cannot be downloaded in this environment
+(see DESIGN.md section 2).
+"""
+
+from repro.graph.generators.ba import barabasi_albert
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.lfr import LFRResult, lfr_graph
+from repro.graph.generators.webgraph import copying_web_graph
+from repro.graph.generators.chunglu import chung_lu_graph
+from repro.graph.generators.simple import (
+    complete_graph,
+    karate_club,
+    path_graph,
+    planted_partition,
+    ring_of_cliques,
+    star_graph,
+    two_triangles_bridge,
+)
+from repro.graph.generators.powerlaw import powerlaw_degrees
+from repro.graph.generators.sbm import stochastic_block_model
+
+__all__ = [
+    "barabasi_albert",
+    "rmat_graph",
+    "lfr_graph",
+    "LFRResult",
+    "copying_web_graph",
+    "chung_lu_graph",
+    "complete_graph",
+    "karate_club",
+    "path_graph",
+    "planted_partition",
+    "ring_of_cliques",
+    "star_graph",
+    "two_triangles_bridge",
+    "powerlaw_degrees",
+    "stochastic_block_model",
+]

@@ -1,0 +1,67 @@
+"""Barabási–Albert preferential attachment (paper Table I, "BA").
+
+The paper cites Machta & Machta's parallel-dynamics formulation; we implement
+the standard repeated-nodes variant, which yields the same asymptotic
+``P(k) ∝ k^-3`` degree law and is the common reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+
+__all__ = ["barabasi_albert"]
+
+
+def barabasi_albert(
+    n_vertices: int,
+    edges_per_vertex: int,
+    seed: int | np.random.Generator = 0,
+) -> CSRGraph:
+    """Generate a BA scale-free graph.
+
+    Parameters
+    ----------
+    n_vertices:
+        Total number of vertices.
+    edges_per_vertex:
+        Number of edges each arriving vertex attaches with (``m`` in the BA
+        model).  The first ``m + 1`` vertices form a seed clique.
+    seed:
+        Integer seed or a ``numpy`` generator.
+    """
+    m = int(edges_per_vertex)
+    if m < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    if n_vertices <= m:
+        raise ValueError("n_vertices must exceed edges_per_vertex")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+
+    # Seed clique on m+1 vertices so every early vertex already has degree m.
+    seed_n = m + 1
+    src_list: list[np.ndarray] = []
+    dst_list: list[np.ndarray] = []
+    iu, ju = np.triu_indices(seed_n, k=1)
+    src_list.append(iu.astype(np.int64))
+    dst_list.append(ju.astype(np.int64))
+
+    # repeated-nodes list: vertex v appears deg(v) times
+    repeated = np.repeat(np.arange(seed_n, dtype=np.int64), m).tolist()
+
+    for v in range(seed_n, n_vertices):
+        targets: set[int] = set()
+        # rejection sampling keeps the graph simple (no parallel edges)
+        while len(targets) < m:
+            t = repeated[rng.integers(0, len(repeated))]
+            if t != v:
+                targets.add(int(t))
+        t_arr = np.fromiter(targets, dtype=np.int64, count=m)
+        src_list.append(np.full(m, v, dtype=np.int64))
+        dst_list.append(t_arr)
+        repeated.extend(t_arr.tolist())
+        repeated.extend([v] * m)
+
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+    return build_symmetric_csr(n_vertices, src, dst)

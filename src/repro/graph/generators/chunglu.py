@@ -1,0 +1,62 @@
+"""Chung–Lu random graphs with a prescribed expected degree sequence.
+
+Used as the social-network analogue generator: combined with a power-law
+weight sequence it produces scale-free graphs whose hubs match a target
+degree distribution without the strict determinism of BA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+
+__all__ = ["chung_lu_graph"]
+
+
+def chung_lu_graph(
+    expected_degrees: np.ndarray,
+    seed: int | np.random.Generator = 0,
+) -> CSRGraph:
+    """Sample a Chung–Lu graph: ``P(u ~ v) = min(1, w_u w_v / sum(w))``.
+
+    Uses the efficient "ordered list" sampling of Miller & Hagberg (2011),
+    which runs in ``O(n + m)`` rather than ``O(n^2)``.
+    """
+    w = np.asarray(expected_degrees, dtype=np.float64)
+    if w.ndim != 1 or w.size < 2:
+        raise ValueError("expected_degrees must be a 1-D array of length >= 2")
+    if np.any(w < 0):
+        raise ValueError("expected degrees must be non-negative")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+
+    n = w.size
+    order = np.argsort(-w, kind="stable")  # descending weights
+    ws = w[order]
+    total = ws.sum()
+    if total <= 0:
+        return build_symmetric_csr(n, np.zeros(0, np.int64), np.zeros(0, np.int64))
+
+    src: list[int] = []
+    dst: list[int] = []
+    for i in range(n - 1):
+        if ws[i] == 0:
+            break
+        j = i + 1
+        p = min(1.0, ws[i] * ws[j] / total)
+        while j < n and p > 0:
+            if p != 1.0:
+                # geometric skip over non-edges
+                r = rng.random()
+                skip = int(np.floor(np.log(r) / np.log1p(-p))) if p < 1.0 else 0
+                j += skip
+            if j < n:
+                q = min(1.0, ws[i] * ws[j] / total)
+                if rng.random() < q / p:
+                    src.append(i)
+                    dst.append(j)
+                p = q
+                j += 1
+    s = order[np.asarray(src, dtype=np.int64)] if src else np.zeros(0, np.int64)
+    d = order[np.asarray(dst, dtype=np.int64)] if dst else np.zeros(0, np.int64)
+    return build_symmetric_csr(n, s, d)

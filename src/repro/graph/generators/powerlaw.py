@@ -1,0 +1,46 @@
+"""Discrete truncated power-law sampling shared by several generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["powerlaw_degrees", "powerlaw_sample"]
+
+
+def powerlaw_sample(
+    rng: np.random.Generator,
+    n: int,
+    exponent: float,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Sample ``n`` integers from ``P(k) ∝ k^-exponent`` on ``[lo, hi]``."""
+    if lo < 1 or hi < lo:
+        raise ValueError("need 1 <= lo <= hi")
+    support = np.arange(lo, hi + 1, dtype=np.float64)
+    pmf = support ** (-float(exponent))
+    pmf /= pmf.sum()
+    return rng.choice(np.arange(lo, hi + 1, dtype=np.int64), size=n, p=pmf)
+
+
+def powerlaw_degrees(
+    rng: np.random.Generator,
+    n: int,
+    exponent: float,
+    min_degree: int,
+    max_degree: int,
+) -> np.ndarray:
+    """Sample a graphical power-law degree sequence.
+
+    The sum is forced even (configuration-model requirement) by bumping one
+    minimum-degree vertex when necessary, and every degree is clamped to
+    ``n - 1``.
+    """
+    max_degree = min(max_degree, n - 1) if n > 1 else 1
+    min_degree = min(min_degree, max_degree)
+    deg = powerlaw_sample(rng, n, exponent, min_degree, max_degree)
+    if deg.sum() % 2 == 1:
+        # bump the first vertex that can absorb one more stub
+        idx = int(np.argmin(deg))
+        deg[idx] += 1 if deg[idx] < max_degree else -1
+    return deg

@@ -1,0 +1,66 @@
+"""R-MAT recursive matrix generator (paper Table I, "R-MAT").
+
+Follows the Graph500 specification the paper references: an undirected graph
+with ``2**scale`` vertices and ``edge_factor * 2**scale`` edges, sampled with
+partition probabilities ``(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)``.  Vertex
+ids are randomly permuted afterwards (Graph500 step) so locality does not
+leak into partitioning experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+
+__all__ = ["rmat_graph"]
+
+GRAPH500_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    probs: tuple[float, float, float, float] = GRAPH500_PROBS,
+    seed: int | np.random.Generator = 0,
+    permute: bool = True,
+) -> CSRGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Duplicate edges and self-loops produced by the recursive process are
+    merged / kept respectively by the CSR builder (duplicates sum weight; we
+    drop self-loops to match Graph500 kernel-1 cleanup).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    a, b, c, d = probs
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("probabilities must sum to 1")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+
+    n = 1 << scale
+    m = int(edge_factor) * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # one vectorised pass per bit level
+    for level in range(scale):
+        r = rng.random(m)
+        right = r >= (a + c)  # column bit set with prob b + d
+        # row bit: conditional on column choice
+        r2 = rng.random(m)
+        down = np.where(right, r2 < d / (b + d), r2 < c / (a + c))
+        bit = np.int64(1) << np.int64(scale - 1 - level)
+        src += bit * down.astype(np.int64)
+        dst += bit * right.astype(np.int64)
+
+    keep = src != dst  # drop self-loops
+    src, dst = src[keep], dst[keep]
+    if permute:
+        perm = rng.permutation(n).astype(np.int64)
+        src, dst = perm[src], perm[dst]
+    g = build_symmetric_csr(n, src, dst, np.ones(src.size, dtype=np.float64))
+    # collapse merged duplicate weights back to 1 (Graph500 treats the graph
+    # as unweighted after dedup)
+    w = g.weights.copy()
+    w[:] = 1.0
+    return CSRGraph(g.indptr, g.indices, w)

@@ -1,0 +1,120 @@
+"""Small deterministic graphs used in tests, examples and exactness checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+
+__all__ = [
+    "path_graph",
+    "complete_graph",
+    "star_graph",
+    "ring_of_cliques",
+    "planted_partition",
+    "two_triangles_bridge",
+    "karate_club",
+]
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path ``0 - 1 - ... - n-1``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    return build_symmetric_csr(n, src, src + 1)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Clique on ``n`` vertices."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    iu, ju = np.triu_indices(n, k=1)
+    return build_symmetric_csr(n, iu.astype(np.int64), ju.astype(np.int64))
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Hub vertex 0 connected to ``n_leaves`` leaves — the minimal
+    hub-imbalance stress case for 1D partitioning."""
+    if n_leaves < 1:
+        raise ValueError("n_leaves must be >= 1")
+    dst = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return build_symmetric_csr(n_leaves + 1, np.zeros(n_leaves, np.int64), dst)
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int) -> CSRGraph:
+    """``n_cliques`` cliques of ``clique_size`` joined in a ring by single
+    edges — the canonical graph whose optimal communities are the cliques."""
+    if n_cliques < 2 or clique_size < 2:
+        raise ValueError("need n_cliques >= 2 and clique_size >= 2")
+    src: list[int] = []
+    dst: list[int] = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                src.append(base + i)
+                dst.append(base + j)
+        # bridge: last vertex of this clique to first of the next
+        nxt = ((c + 1) % n_cliques) * clique_size
+        src.append(base + clique_size - 1)
+        dst.append(nxt)
+    n = n_cliques * clique_size
+    return build_symmetric_csr(
+        n, np.asarray(src, np.int64), np.asarray(dst, np.int64)
+    )
+
+
+def planted_partition(
+    n_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int | np.random.Generator = 0,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Planted-partition model; returns ``(graph, ground_truth)``."""
+    if not (0 <= p_out <= p_in <= 1):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    n = n_communities * community_size
+    labels = np.repeat(np.arange(n_communities, dtype=np.int64), community_size)
+    iu, ju = np.triu_indices(n, k=1)
+    same = labels[iu] == labels[ju]
+    r = rng.random(iu.size)
+    keep = np.where(same, r < p_in, r < p_out)
+    return (
+        build_symmetric_csr(n, iu[keep].astype(np.int64), ju[keep].astype(np.int64)),
+        labels,
+    )
+
+
+def two_triangles_bridge() -> CSRGraph:
+    """Two triangles {0,1,2} and {3,4,5} joined by edge (2,3).
+
+    The smallest graph with an unambiguous 2-community structure; used in
+    exactness tests for modularity and the bouncing-problem demonstrations.
+    """
+    edges = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)]
+    return CSRGraph.from_edges(6, edges)
+
+
+# Zachary karate club adjacency (34 vertices) — the standard community
+# detection reference instance.
+_KARATE_EDGES = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+    (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+    (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+    (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+    (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+    (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+    (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+    (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+    (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+    (31, 33), (32, 33),
+]
+
+
+def karate_club() -> CSRGraph:
+    """Zachary's karate club (34 vertices, 78 edges)."""
+    return CSRGraph.from_edges(34, _KARATE_EDGES)

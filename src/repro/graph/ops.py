@@ -1,0 +1,142 @@
+"""Structural operations on :class:`~repro.graph.csr.CSRGraph`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+
+__all__ = [
+    "degree_histogram",
+    "induced_subgraph",
+    "largest_component",
+    "permute_vertices",
+    "relabel_communities",
+    "connected_components",
+    "locality_relabel",
+]
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Histogram of unweighted degrees; index ``d`` holds ``#{v : deg(v)=d}``."""
+    deg = graph.degrees
+    if deg.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(deg, minlength=int(deg.max()) + 1).astype(np.int64)
+
+
+def permute_vertices(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """Relabel vertices: new id of vertex ``v`` is ``perm[v]``.
+
+    ``perm`` must be a permutation of ``0 .. n-1``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = graph.n_vertices
+    if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    src, dst, w = graph.edge_arrays()
+    return build_symmetric_csr(n, perm[src], perm[dst], w)
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, vertices)`` where vertex ``i`` of the subgraph is
+    ``vertices[i]`` of the original graph.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    n = graph.n_vertices
+    if vertices.size and (vertices[0] < 0 or vertices[-1] >= n):
+        raise ValueError("vertex id out of range")
+    local_of = np.full(n, -1, dtype=np.int64)
+    local_of[vertices] = np.arange(vertices.size)
+    src, dst, w = graph.edge_arrays()
+    keep = (local_of[src] >= 0) & (local_of[dst] >= 0)
+    sub = build_symmetric_csr(
+        vertices.size, local_of[src[keep]], local_of[dst[keep]], w[keep]
+    )
+    return sub, vertices
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label connected components; returns an ``int64`` label per vertex.
+
+    Labels are consecutive ``0 .. k-1`` in order of the smallest vertex in
+    each component.  Iterative BFS (no recursion) so large graphs are safe.
+    """
+    n = graph.n_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    stack: list[int] = []
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = next_label
+        stack.append(start)
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if labels[v] < 0:
+                    labels[v] = next_label
+                    stack.append(int(v))
+        next_label += 1
+    return labels
+
+
+def largest_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph on the largest connected component."""
+    labels = connected_components(graph)
+    if labels.size == 0:
+        return graph, np.arange(0, dtype=np.int64)
+    biggest = int(np.bincount(labels).argmax())
+    return induced_subgraph(graph, np.flatnonzero(labels == biggest))
+
+
+def locality_relabel(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Relabel vertices so neighbours get nearby ids (BFS order).
+
+    A lightweight stand-in for the locality reorderings the paper cites
+    (Rabbit Order [6]): vertices are renumbered in breadth-first order from
+    the highest-degree vertex of each component, so contiguous id blocks
+    mostly contain connected vertices.  Returns ``(relabelled_graph, perm)``
+    where ``perm[v]`` is the new id of original vertex ``v``.
+    """
+    n = graph.n_vertices
+    perm = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    order = np.argsort(-graph.degrees, kind="stable")
+    from collections import deque
+
+    for start in order:
+        if perm[start] >= 0:
+            continue
+        queue = deque([int(start)])
+        perm[start] = next_id
+        next_id += 1
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if perm[v] < 0:
+                    perm[v] = next_id
+                    next_id += 1
+                    queue.append(int(v))
+    return permute_vertices(graph, perm), perm
+
+
+def relabel_communities(assignment: np.ndarray) -> np.ndarray:
+    """Compress arbitrary community labels to consecutive ``0 .. k-1``.
+
+    Order of first appearance is preserved, which keeps results deterministic
+    across runs.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    _, first_idx, inverse = np.unique(
+        assignment, return_index=True, return_inverse=True
+    )
+    # np.unique sorts labels; remap so that label order follows first appearance
+    order = np.argsort(first_idx, kind="stable")
+    rank_of_sorted = np.empty_like(order)
+    rank_of_sorted[order] = np.arange(order.size)
+    return rank_of_sorted[inverse].astype(np.int64)

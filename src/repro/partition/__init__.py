@@ -1,0 +1,32 @@
+"""Graph partitioning: 1D baselines and the paper's delegate partitioning.
+
+A *partition* turns one global :class:`~repro.graph.csr.CSRGraph` into ``p``
+per-rank :class:`~repro.partition.distgraph.LocalGraph` views.  Directed CSR
+entries (each undirected edge contributes two, self-loops one) are assigned
+to ranks; a rank's *rows* are the vertices whose outgoing entries it stores
+(its owned low-degree vertices, plus — under delegate partitioning — a
+delegate row for every hub), and its *ghosts* are row neighbours owned
+elsewhere.
+"""
+
+from repro.partition.distgraph import LocalGraph, Partition, owner_of
+from repro.partition.oned import oned_partition
+from repro.partition.delegate import delegate_partition
+from repro.partition.balance import (
+    edges_per_rank,
+    ghosts_per_rank,
+    max_ghosts,
+    workload_imbalance,
+)
+
+__all__ = [
+    "LocalGraph",
+    "Partition",
+    "owner_of",
+    "oned_partition",
+    "delegate_partition",
+    "edges_per_rank",
+    "ghosts_per_rank",
+    "max_ghosts",
+    "workload_imbalance",
+]

@@ -1,0 +1,44 @@
+"""Workload / communication balance metrics (paper Eq. 5 and Fig. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.distgraph import Partition
+
+__all__ = [
+    "edges_per_rank",
+    "ghosts_per_rank",
+    "workload_imbalance",
+    "max_ghosts",
+]
+
+
+def edges_per_rank(partition: Partition) -> np.ndarray:
+    """Directed CSR entries stored per rank — the paper's "local edge
+    number" workload proxy (Fig. 6(a))."""
+    return np.asarray([lg.n_local_entries for lg in partition.locals], dtype=np.int64)
+
+
+def ghosts_per_rank(partition: Partition) -> np.ndarray:
+    """Ghost vertices per rank — the communication proxy (Fig. 6(b))."""
+    return np.asarray([lg.n_ghosts for lg in partition.locals], dtype=np.int64)
+
+
+def workload_imbalance(partition: Partition) -> float:
+    """Paper Eq. 5: ``W = |E_max| / |E_avg| - 1``.
+
+    Zero means perfectly balanced; ``W = k`` means the busiest rank holds
+    ``k`` times more than average *extra* work.
+    """
+    counts = edges_per_rank(partition)
+    avg = counts.mean()
+    if avg == 0:
+        return 0.0
+    return float(counts.max() / avg - 1.0)
+
+
+def max_ghosts(partition: Partition) -> int:
+    """Maximum per-rank ghost count (Fig. 6(d))."""
+    g = ghosts_per_rank(partition)
+    return int(g.max()) if g.size else 0

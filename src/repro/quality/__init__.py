@@ -1,0 +1,41 @@
+"""Community quality measurements (paper Table II).
+
+All six metrics compare a detected partition against a ground-truth
+partition (both given as integer label arrays over the same vertex set):
+Normalized Mutual Information, F-measure, Normalized Van Dongen metric,
+Rand Index, Adjusted Rand Index and Jaccard Index.  Higher is better for
+all except NVD, which is a distance.
+"""
+
+from repro.quality.contingency import contingency_table, pair_counts
+from repro.quality.structural import (
+    coverage,
+    mean_conductance,
+    performance,
+    variation_of_information,
+)
+from repro.quality.metrics import (
+    adjusted_rand_index,
+    f_measure,
+    jaccard_index,
+    normalized_mutual_information,
+    normalized_van_dongen,
+    rand_index,
+    score_all,
+)
+
+__all__ = [
+    "contingency_table",
+    "pair_counts",
+    "normalized_mutual_information",
+    "f_measure",
+    "normalized_van_dongen",
+    "rand_index",
+    "adjusted_rand_index",
+    "jaccard_index",
+    "score_all",
+    "coverage",
+    "performance",
+    "mean_conductance",
+    "variation_of_information",
+]

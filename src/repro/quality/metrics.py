@@ -1,0 +1,131 @@
+"""The six quality metrics of the paper's Table II.
+
+Definitions follow the survey the paper cites (Xie, Kelley & Szymanski,
+ACM Comput. Surv. 2013):
+
+* **NMI** — mutual information normalised by the arithmetic mean of the two
+  partition entropies.
+* **F-measure** — size-weighted average, over ground-truth communities, of
+  the best F1 score achieved by any detected community.
+* **NVD** — normalised Van Dongen distance,
+  ``1 - (1/2n) (sum_i max_j n_ij + sum_j max_i n_ij)``; 0 is perfect.
+* **RI / ARI / JI** — pair-counting indices (raw, chance-adjusted, and
+  Jaccard over co-clustered pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quality.contingency import contingency_table, pair_counts
+
+__all__ = [
+    "normalized_mutual_information",
+    "f_measure",
+    "normalized_van_dongen",
+    "rand_index",
+    "adjusted_rand_index",
+    "jaccard_index",
+    "score_all",
+]
+
+
+def normalized_mutual_information(
+    detected: np.ndarray, truth: np.ndarray
+) -> float:
+    """NMI in [0, 1]; 1 means identical partitions."""
+    table, sa, sb = contingency_table(detected, truth)
+    n = float(sa.sum())
+    if n == 0:
+        return 1.0
+    pa = sa / n
+    pb = sb / n
+    pab = table / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_term = np.log(pab / np.outer(pa, pb))
+    mask = pab > 0
+    mi = float((pab[mask] * log_term[mask]).sum())
+    ha = float(-(pa[pa > 0] * np.log(pa[pa > 0])).sum())
+    hb = float(-(pb[pb > 0] * np.log(pb[pb > 0])).sum())
+    if ha == 0.0 and hb == 0.0:
+        return 1.0  # both partitions trivial and identical in structure
+    denom = (ha + hb) / 2.0
+    if denom == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+def f_measure(detected: np.ndarray, truth: np.ndarray) -> float:
+    """Size-weighted best-match F1 of ground-truth communities."""
+    table, s_det, s_truth = contingency_table(detected, truth)
+    n = float(s_truth.sum())
+    if n == 0:
+        return 1.0
+    # F1 of (detected i, truth j): 2 n_ij / (|det_i| + |truth_j|)
+    denom = s_det[:, None] + s_truth[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = np.where(denom > 0, 2.0 * table / denom, 0.0)
+    best_per_truth = f1.max(axis=0) if f1.size else np.zeros(0)
+    return float(min(1.0, (s_truth / n * best_per_truth).sum()))
+
+
+def normalized_van_dongen(detected: np.ndarray, truth: np.ndarray) -> float:
+    """NVD distance in [0, 1); 0 means identical partitions."""
+    table, sa, _sb = contingency_table(detected, truth)
+    n = float(sa.sum())
+    if n == 0:
+        return 0.0
+    covered = table.max(axis=1).sum() + table.max(axis=0).sum()
+    return float(1.0 - covered / (2.0 * n))
+
+
+def rand_index(detected: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of vertex pairs on which the partitions agree."""
+    n11, n10, n01, n00 = pair_counts(detected, truth)
+    total = n11 + n10 + n01 + n00
+    if total == 0:
+        return 1.0
+    return float((n11 + n00) / total)
+
+
+def adjusted_rand_index(detected: np.ndarray, truth: np.ndarray) -> float:
+    """Rand index adjusted for chance (0 expected for random labelings)."""
+    table, sa, sb = contingency_table(detected, truth)
+    n = float(sa.sum())
+    if n < 2:
+        return 1.0
+
+    def c2(x):
+        x = x.astype(np.float64)
+        return float((x * (x - 1) / 2.0).sum())
+
+    sum_ij = c2(table.ravel())
+    sum_a = c2(sa)
+    sum_b = c2(sb)
+    total = n * (n - 1) / 2.0
+    expected = sum_a * sum_b / total
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_ij - expected) / (max_index - expected))
+
+
+def jaccard_index(detected: np.ndarray, truth: np.ndarray) -> float:
+    """Jaccard over co-clustered pairs: ``n11 / (n11 + n10 + n01)``."""
+    n11, n10, n01, _ = pair_counts(detected, truth)
+    denom = n11 + n10 + n01
+    if denom == 0:
+        return 1.0  # no co-clustered pairs in either partition
+    return float(n11 / denom)
+
+
+def score_all(detected: np.ndarray, truth: np.ndarray) -> dict[str, float]:
+    """All Table II metrics in the paper's column order."""
+    return {
+        "NMI": normalized_mutual_information(detected, truth),
+        "F-measure": f_measure(detected, truth),
+        "NVD": normalized_van_dongen(detected, truth),
+        "RI": rand_index(detected, truth),
+        "ARI": adjusted_rand_index(detected, truth),
+        "JI": jaccard_index(detected, truth),
+    }

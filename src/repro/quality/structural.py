@@ -1,0 +1,118 @@
+"""Graph-structural community quality metrics.
+
+Unlike the Table II metrics (which compare two partitions), these score a
+single partition against the *graph*: how well-separated and internally
+dense the communities are.  Standard definitions from Fortunato's survey
+(the paper's reference [1]):
+
+* **coverage** — fraction of edge weight that is intra-community;
+* **performance** — fraction of vertex pairs "correctly classified"
+  (intra-community edges + absent inter-community pairs);
+* **conductance** — per community ``c``: cut(c) / min(vol(c), vol(V\\c));
+  reported as the weighted average over communities (lower is better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["coverage", "performance", "mean_conductance", "variation_of_information"]
+
+
+def coverage(graph: CSRGraph, assignment: np.ndarray) -> float:
+    """Intra-community edge weight / total edge weight; in [0, 1]."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_vertices,):
+        raise ValueError("assignment must have one label per vertex")
+    m = graph.total_weight
+    if m <= 0:
+        return 1.0
+    src, dst, w = graph.edge_arrays()
+    internal = float(w[assignment[src] == assignment[dst]].sum())
+    return internal / m
+
+
+def performance(graph: CSRGraph, assignment: np.ndarray) -> float:
+    """Correctly-classified pair fraction (unweighted); in [0, 1]."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    n = graph.n_vertices
+    if assignment.shape != (n,):
+        raise ValueError("assignment must have one label per vertex")
+    if n < 2:
+        return 1.0
+    src, dst, _ = graph.edge_arrays()
+    off = src != dst
+    src, dst = src[off], dst[off]
+    same = assignment[src] == assignment[dst]
+    intra_edges = int(same.sum())
+    inter_edges = int((~same).sum())
+    total_pairs = n * (n - 1) / 2
+    sizes = np.bincount(assignment - assignment.min())
+    same_pairs = float((sizes * (sizes - 1) / 2).sum())
+    cross_pairs = total_pairs - same_pairs
+    # correct = intra edges present + inter pairs absent
+    correct = intra_edges + (cross_pairs - inter_edges)
+    return float(correct / total_pairs)
+
+
+def mean_conductance(graph: CSRGraph, assignment: np.ndarray) -> float:
+    """Size-weighted mean conductance over communities; lower is better.
+
+    Communities covering the whole graph (or empty cuts with zero volume)
+    contribute 0.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_vertices,):
+        raise ValueError("assignment must have one label per vertex")
+    m = graph.total_weight
+    if m <= 0:
+        return 0.0
+    src, dst, w = graph.edge_arrays()
+    labels = np.unique(assignment)
+    wdeg = graph.weighted_degrees
+    total_vol = 2.0 * m
+    out = 0.0
+    n = graph.n_vertices
+    for c in labels:
+        members = assignment == c
+        vol = float(wdeg[members].sum())
+        cut_mask = members[src] != members[dst]
+        cut = float(w[cut_mask].sum())
+        denom = min(vol, total_vol - vol)
+        phi = 0.0 if denom <= 0 else cut / denom
+        out += phi * members.sum() / n
+    return float(out)
+
+
+def variation_of_information(
+    labels_a: np.ndarray, labels_b: np.ndarray, normalized: bool = True
+) -> float:
+    """Meila's VI distance between two partitions.
+
+    ``VI = H(A|B) + H(B|A)``; with ``normalized=True`` divided by ``log n``
+    (its maximum), giving a value in [0, 1].  0 means identical partitions.
+    """
+    from repro.quality.contingency import contingency_table
+
+    table, sa, sb = contingency_table(labels_a, labels_b)
+    n = float(sa.sum())
+    if n == 0:
+        return 0.0
+    pab = table / n
+    pa = sa / n
+    pb = sb / n
+    mask = pab > 0
+    h_a_given_b = -float(
+        (pab[mask] * np.log(pab[mask] / np.broadcast_to(pb, pab.shape)[mask])).sum()
+    )
+    h_b_given_a = -float(
+        (pab[mask] * np.log(pab[mask] / np.broadcast_to(pa[:, None], pab.shape)[mask])).sum()
+    )
+    vi = h_a_given_b + h_b_given_a
+    if normalized:
+        if n <= 1:
+            return 0.0
+        vi /= np.log(n)
+    return max(0.0, float(vi))

@@ -1,0 +1,38 @@
+"""Simulated MPI / BSP runtime.
+
+The paper runs MPI + C++ on up to 32,768 Titan cores.  This environment has
+one CPU core and no MPI, so distributed execution is *simulated*: every
+logical rank runs the real algorithm in its own thread against a
+:class:`~repro.runtime.comm.SimComm`, whose API mirrors mpi4py
+(``send``/``recv``, ``bcast``, ``allreduce``, ``alltoall``, ``allgather``,
+``barrier``).  The communicator meters every message with byte accuracy and
+logs BSP supersteps, so the cost model in
+:mod:`repro.runtime.costmodel` can convert a run into a simulated
+distributed-memory makespan (see DESIGN.md, "Substitutions").
+
+Correctness of the simulation does not depend on real parallelism: ranks are
+plain Python threads synchronised by barriers, which under the GIL
+interleave exactly like a BSP machine.
+"""
+
+from repro.runtime.comm import SimComm, CommError, DeadlockError, Request
+from repro.runtime.engine import run_spmd, SPMDError
+from repro.runtime.stats import RankStats, RunStats, payload_nbytes
+from repro.runtime.costmodel import MachineModel, SimulatedTime, simulate_time
+from repro.runtime import reducers
+
+__all__ = [
+    "SimComm",
+    "CommError",
+    "DeadlockError",
+    "Request",
+    "run_spmd",
+    "SPMDError",
+    "RankStats",
+    "RunStats",
+    "payload_nbytes",
+    "MachineModel",
+    "SimulatedTime",
+    "simulate_time",
+    "reducers",
+]

@@ -1,0 +1,378 @@
+"""The simulated communicator.
+
+:class:`SimComm` exposes an mpi4py-flavoured API to algorithm code running on
+a simulated rank.  Collectives are implemented on top of a single primitive
+— :meth:`_World.exchange` — in which every rank deposits a value into its
+slot of a generation-keyed buffer and reads the full buffer after a barrier.
+Because the program model is SPMD, all ranks issue collectives in the same
+order, so per-rank generation counters agree and the exchange is race-free.
+
+Byte accounting (see :mod:`repro.runtime.stats`):
+
+* point-to-point: payload bytes counted once at the sender, once at the
+  receiver;
+* ``alltoall`` / ``allgather`` / ``gather`` / ``scatter``: pairwise volumes
+  (a rank sends its payload to each of the ``p - 1`` peers that actually
+  receive it);
+* ``allreduce`` / ``bcast`` / ``reduce``: counted as ``ceil(log2 p)``
+  payload transfers per rank, the volume of the tree/recursive-doubling
+  algorithms every real MPI uses — this matters because the paper's
+  "Broadcast Delegates" step is a collective whose cost it argues is
+  marginal.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.runtime import reducers
+from repro.runtime.stats import RankStats, payload_nbytes
+
+__all__ = ["SimComm", "CommError", "DeadlockError", "Request"]
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py ``Request`` analogue).
+
+    ``isend`` requests complete immediately (the simulated transport is
+    buffered); ``irecv`` requests complete when a matching message is
+    available.  ``wait`` blocks (up to the world timeout), ``test`` polls.
+    """
+
+    def __init__(self, fetch=None, value: Any = None) -> None:
+        self._fetch = fetch  # None for send requests
+        self._value = value
+        self._done = fetch is None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check; returns ``(done, value)``."""
+        if self._done:
+            return True, self._value
+        ok, value = self._fetch(block=False)
+        if ok:
+            self._done = True
+            self._value = value
+        return self._done, self._value
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received object (or ``None``
+        for send requests)."""
+        if not self._done:
+            _ok, value = self._fetch(block=True)
+            self._done = True
+            self._value = value
+        return self._value
+
+
+class CommError(RuntimeError):
+    """Misuse of the communicator (bad rank, mismatched collective...)."""
+
+
+class DeadlockError(RuntimeError):
+    """A blocking receive waited past its timeout."""
+
+
+class _World:
+    """State shared by all ranks of one SPMD run."""
+
+    def __init__(self, size: int, timeout: float) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.barrier = threading.Barrier(size)
+        self._lock = threading.Lock()
+        self._coll_bufs: dict[int, list[Any]] = {}
+        self._coll_reads: dict[int, int] = {}
+        # point-to-point mailboxes: (src, dst, tag) -> list of payloads,
+        # guarded by a condition variable
+        self._mail: dict[tuple[int, int, int], list[Any]] = {}
+        self._mail_cv = threading.Condition()
+        self.aborted = False
+
+    def abort(self) -> None:
+        """Release all blocked ranks after a failure on one rank."""
+        self.aborted = True
+        self.barrier.abort()
+        with self._mail_cv:
+            self._mail_cv.notify_all()
+
+    # -- collective primitive -------------------------------------------
+    def exchange(self, rank: int, gen: int, value: Any) -> list[Any]:
+        with self._lock:
+            buf = self._coll_bufs.setdefault(gen, [None] * self.size)
+        buf[rank] = value
+        try:
+            self.barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            raise DeadlockError(
+                f"rank {rank}: collective generation {gen} never completed "
+                "(a peer failed or diverged from the SPMD collective order)"
+            ) from None
+        result = list(buf)
+        with self._lock:
+            n = self._coll_reads.get(gen, 0) + 1
+            if n == self.size:
+                self._coll_bufs.pop(gen, None)
+                self._coll_reads.pop(gen, None)
+            else:
+                self._coll_reads[gen] = n
+        return result
+
+    # -- point-to-point ---------------------------------------------------
+    def put(self, src: int, dst: int, tag: int, payload: Any) -> None:
+        with self._mail_cv:
+            self._mail.setdefault((src, dst, tag), []).append(payload)
+            self._mail_cv.notify_all()
+
+    def try_take(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
+        """Non-blocking receive attempt."""
+        key = (src, dst, tag)
+        with self._mail_cv:
+            if self.aborted:
+                raise DeadlockError(f"rank {dst}: world aborted while receiving")
+            box = self._mail.get(key)
+            if not box:
+                return False, None
+            payload = box.pop(0)
+            if not box:
+                del self._mail[key]
+            return True, payload
+
+    def take(self, src: int, dst: int, tag: int, timeout: float) -> Any:
+        key = (src, dst, tag)
+        with self._mail_cv:
+            ok = self._mail_cv.wait_for(
+                lambda: self.aborted or bool(self._mail.get(key)), timeout=timeout
+            )
+            if self.aborted:
+                raise DeadlockError(f"rank {dst}: world aborted while receiving")
+            if not ok:
+                raise DeadlockError(
+                    f"rank {dst}: recv(source={src}, tag={tag}) timed out "
+                    f"after {timeout}s"
+                )
+            box = self._mail[key]
+            payload = box.pop(0)
+            if not box:
+                del self._mail[key]
+            return payload
+
+
+class SimComm:
+    """Per-rank handle on the simulated world.
+
+    Algorithm code receives one of these as its first argument (exactly like
+    an ``MPI.Comm``) and must only ever use its own instance.
+    """
+
+    def __init__(self, world: _World, rank: int, stats: RankStats) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.stats = stats
+        self._gen = 0
+        self._phase = "other"
+
+    # ------------------------------------------------------------------
+    # Phase tagging (drives the Fig. 8(b) execution-time breakdown)
+    # ------------------------------------------------------------------
+    def set_phase(self, name: str) -> None:
+        self._phase = name
+
+    class _PhaseCtx:
+        def __init__(self, comm: "SimComm", name: str) -> None:
+            self._comm = comm
+            self._name = name
+            self._prev = comm._phase
+
+        def __enter__(self):
+            self._prev = self._comm._phase
+            self._comm._phase = self._name
+            return self._comm
+
+        def __exit__(self, *exc):
+            self._comm._phase = self._prev
+            return False
+
+    def phase(self, name: str) -> "SimComm._PhaseCtx":
+        """Context manager attributing compute/comm to a named phase."""
+        return SimComm._PhaseCtx(self, name)
+
+    def add_compute(self, units: float) -> None:
+        """Record abstract compute work (units == scanned edge endpoints)."""
+        self.stats.add_compute(units, self._phase)
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise CommError(f"send: bad destination rank {dest}")
+        if dest == self.rank:
+            # self-sends are legal in MPI; deliver through the mailbox
+            pass
+        nbytes = payload_nbytes(obj)
+        self.stats.add_sent(nbytes, self._phase)
+        self._world.put(self.rank, dest, tag, obj)
+
+    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+        if not 0 <= source < self.size:
+            raise CommError(f"recv: bad source rank {source}")
+        payload = self._world.take(
+            source, self.rank, tag, timeout or self._world.timeout
+        )
+        self.stats.add_recv(payload_nbytes(payload), self._phase)
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; the simulated transport is buffered, so the
+        request is complete on return (``wait`` returns ``None``)."""
+        self.send(obj, dest, tag)
+        return Request()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; resolve via ``Request.test``/``wait``."""
+        if not 0 <= source < self.size:
+            raise CommError(f"irecv: bad source rank {source}")
+
+        def fetch(block: bool) -> tuple[bool, Any]:
+            if block:
+                payload = self._world.take(
+                    source, self.rank, tag, self._world.timeout
+                )
+                ok = True
+            else:
+                ok, payload = self._world.try_take(source, self.rank, tag)
+            if ok:
+                self.stats.add_recv(payload_nbytes(payload), self._phase)
+            return ok, payload
+
+        return Request(fetch=fetch)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def _next_gen(self) -> int:
+        g = self._gen
+        self._gen += 1
+        return g
+
+    def barrier(self) -> None:
+        self._world.exchange(self.rank, self._next_gen(), None)
+        self.stats.close_superstep(self._phase)
+
+    def allgather(self, value: Any) -> list[Any]:
+        nbytes = payload_nbytes(value)
+        out = self._world.exchange(self.rank, self._next_gen(), value)
+        self.stats.add_sent(nbytes * (self.size - 1), self._phase, self.size - 1)
+        self.stats.add_recv(
+            sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
+            self._phase,
+        )
+        self.stats.close_superstep(self._phase)
+        return out
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """``values[i]`` goes to rank ``i``; returns what each rank sent us."""
+        if len(values) != self.size:
+            raise CommError(
+                f"alltoall: expected {self.size} payloads, got {len(values)}"
+            )
+        sent = sum(
+            payload_nbytes(v) for i, v in enumerate(values) if i != self.rank
+        )
+        n_msgs = sum(
+            1
+            for i, v in enumerate(values)
+            if i != self.rank and payload_nbytes(v) > 0
+        )
+        self.stats.add_sent(sent, self._phase, n_msgs)
+        rows = self._world.exchange(self.rank, self._next_gen(), list(values))
+        out = [rows[src][self.rank] for src in range(self.size)]
+        self.stats.add_recv(
+            sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
+            self._phase,
+        )
+        self.stats.close_superstep(self._phase)
+        return out
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"bcast: bad root {root}")
+        out = self._world.exchange(
+            self.rank, self._next_gen(), value if self.rank == root else None
+        )
+        result = out[root]
+        log_p = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+        nbytes = payload_nbytes(result)
+        if self.size > 1:
+            # binomial-tree volume: every rank forwards at most log2(p) copies
+            self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            self.stats.add_recv(nbytes, self._phase)
+        self.stats.close_superstep(self._phase)
+        return result
+
+    def allreduce(self, value: Any, op: Callable = reducers.SUM) -> Any:
+        out = self._world.exchange(self.rank, self._next_gen(), value)
+        result = reducers.reduce_values(out, op)
+        if self.size > 1:
+            log_p = max(1, math.ceil(math.log2(self.size)))
+            nbytes = payload_nbytes(value)
+            # recursive-doubling volume
+            self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            self.stats.add_recv(nbytes * log_p, self._phase)
+        self.stats.close_superstep(self._phase)
+        return result
+
+    def reduce(self, value: Any, op: Callable = reducers.SUM, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"reduce: bad root {root}")
+        out = self._world.exchange(self.rank, self._next_gen(), value)
+        if self.size > 1:
+            log_p = max(1, math.ceil(math.log2(self.size)))
+            nbytes = payload_nbytes(value)
+            self.stats.add_sent(nbytes, self._phase, 1)
+            if self.rank == root:
+                self.stats.add_recv(nbytes * log_p, self._phase)
+        self.stats.close_superstep(self._phase)
+        if self.rank == root:
+            return reducers.reduce_values(out, op)
+        return None
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        if not 0 <= root < self.size:
+            raise CommError(f"gather: bad root {root}")
+        out = self._world.exchange(self.rank, self._next_gen(), value)
+        if self.rank != root:
+            self.stats.add_sent(payload_nbytes(value), self._phase)
+        else:
+            self.stats.add_recv(
+                sum(payload_nbytes(v) for i, v in enumerate(out) if i != root),
+                self._phase,
+            )
+        self.stats.close_superstep(self._phase)
+        return list(out) if self.rank == root else None
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"scatter: bad root {root}")
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommError(
+                    f"scatter: root must supply exactly {self.size} payloads"
+                )
+            payload = list(values)
+            self.stats.add_sent(
+                sum(payload_nbytes(v) for i, v in enumerate(values) if i != root),
+                self._phase,
+                self.size - 1,
+            )
+        else:
+            payload = None
+        out = self._world.exchange(self.rank, self._next_gen(), payload)
+        mine = out[root][self.rank]
+        if self.rank != root:
+            self.stats.add_recv(payload_nbytes(mine), self._phase)
+        self.stats.close_superstep(self._phase)
+        return mine

@@ -1,0 +1,117 @@
+"""BSP alpha-beta cost model: measured counters -> simulated makespan.
+
+The paper reports wall-clock times on Titan; on a single-core simulator the
+honest surrogate is the standard BSP/LogP-style estimate computed from
+*measured* per-rank work and traffic:
+
+``T = sum over supersteps s of [ t_unit * max_r compute(r, s)
+                                 + alpha
+                                 + beta * max_r bytes_sent(r, s) ]``
+
+* ``t_unit``  — seconds per compute unit (one scanned edge endpoint),
+* ``alpha``   — per-superstep synchronisation / message latency,
+* ``beta``    — seconds per byte of the superstep's largest send volume.
+
+Every scaling figure (Figs. 7-11) is regenerated from this estimate, so a
+partition that balances work and traffic (delegate) beats one that does not
+(1D) exactly through the ``max_r`` terms — the same mechanism as on the real
+machine.  Default constants approximate one Titan Opteron core
+(~1e-8 s/edge-endpoint) and its Gemini interconnect (alpha ~ 5 us,
+beta ~ 1/6 GB/s effective per rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.stats import RunStats
+
+__all__ = ["MachineModel", "SimulatedTime", "simulate_time", "TITAN_LIKE"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Machine constants for the BSP estimate."""
+
+    t_unit: float = 1.0e-8  # seconds per compute unit
+    alpha: float = 5.0e-6  # seconds per superstep (latency)
+    beta: float = 1.6e-10  # seconds per byte (~6 GB/s effective)
+
+    def __post_init__(self) -> None:
+        if self.t_unit < 0 or self.alpha < 0 or self.beta < 0:
+            raise ValueError("machine constants must be non-negative")
+
+
+TITAN_LIKE = MachineModel()
+
+
+@dataclass(frozen=True)
+class SimulatedTime:
+    """Breakdown of a simulated run's makespan (seconds)."""
+
+    compute: float
+    latency: float
+    bandwidth: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.latency + self.bandwidth
+
+    def __add__(self, other: "SimulatedTime") -> "SimulatedTime":
+        return SimulatedTime(
+            self.compute + other.compute,
+            self.latency + other.latency,
+            self.bandwidth + other.bandwidth,
+        )
+
+
+def simulate_time(stats: RunStats, machine: MachineModel = TITAN_LIKE) -> SimulatedTime:
+    """Makespan of a whole run, superstep by superstep."""
+    n_steps = stats.n_supersteps()
+    compute = 0.0
+    bandwidth = 0.0
+    for s in range(n_steps):
+        max_c = 0.0
+        max_b = 0.0
+        for r in stats.ranks:
+            if s < len(r.supersteps):
+                st = r.supersteps[s]
+                max_c = max(max_c, st.compute)
+                max_b = max(max_b, st.bytes_sent)
+        compute += max_c
+        bandwidth += max_b
+    # trailing open work (after the last collective)
+    tail_c = max((r._open.compute for r in stats.ranks), default=0.0)
+    tail_b = max((r._open.bytes_sent for r in stats.ranks), default=0.0)
+    compute += tail_c
+    bandwidth += tail_b
+    return SimulatedTime(
+        compute=compute * machine.t_unit,
+        latency=n_steps * machine.alpha,
+        bandwidth=bandwidth * machine.beta,
+    )
+
+
+def simulate_phase_times(
+    stats: RunStats, machine: MachineModel = TITAN_LIKE
+) -> dict[str, SimulatedTime]:
+    """Per-phase makespans from exact per-phase totals.
+
+    For each phase, compute/bandwidth are the maximum per-rank totals
+    recorded under that tag and latency counts that phase's collectives.
+    Because ``max_r sum_s <= sum_s max_r``, the per-phase times sum to *at
+    most* :func:`simulate_time`'s total; the gap measures how much stragglers
+    rotate between ranks within a phase (zero when the same rank is always
+    the slowest, as under 1D hub imbalance).
+    """
+    out: dict[str, SimulatedTime] = {}
+    for phase in stats.phases():
+        max_c = float(stats.phase_compute(phase).max())
+        max_b = float(stats.phase_bytes_sent(phase).max())
+        n_coll = int(stats.phase_collectives(phase).max())
+        out[phase] = SimulatedTime(
+            compute=max_c * machine.t_unit,
+            latency=n_coll * machine.alpha,
+            bandwidth=max_b * machine.beta,
+        )
+    return out

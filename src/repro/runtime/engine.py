@@ -1,0 +1,101 @@
+"""SPMD thread engine: run one function on ``p`` simulated ranks."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.runtime.comm import SimComm, _World
+from repro.runtime.stats import RankStats, RunStats
+
+__all__ = ["run_spmd", "SPMDError", "SPMDResult"]
+
+
+class SPMDError(RuntimeError):
+    """A simulated rank raised; carries the failing rank and original error."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+@dataclass
+class SPMDResult:
+    """Return values and measured statistics of one SPMD run."""
+
+    results: list[Any]
+    stats: RunStats
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 120.0,
+    **kwargs: Any,
+) -> SPMDResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated MPI ranks (threads).
+    fn:
+        The SPMD program.  Its first positional argument is the rank's
+        :class:`~repro.runtime.comm.SimComm`.
+    timeout:
+        Per-blocking-operation deadlock timeout in seconds.
+
+    Returns
+    -------
+    SPMDResult
+        ``results[r]`` is rank ``r``'s return value; ``stats`` holds the
+        measured per-rank counters.
+
+    Raises
+    ------
+    SPMDError
+        If any rank raises, the lowest-numbered failing rank's exception is
+        re-raised (wrapped), after the world is aborted so no thread leaks.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    world = _World(n_ranks, timeout=timeout)
+    rank_stats = [RankStats(rank=r) for r in range(n_ranks)]
+    results: list[Any] = [None] * n_ranks
+    errors: list[BaseException | None] = [None] * n_ranks
+
+    def worker(rank: int) -> None:
+        comm = SimComm(world, rank, rank_stats[rank])
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must not leak threads
+            errors[rank] = exc
+            world.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"simrank-{r}", daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for rank, exc in enumerate(errors):
+        if exc is not None and not _is_secondary_abort(exc):
+            raise SPMDError(rank, exc) from exc
+    # only secondary aborts (or nothing) left; if any error remains, surface it
+    for rank, exc in enumerate(errors):
+        if exc is not None:
+            raise SPMDError(rank, exc) from exc
+    return SPMDResult(results=results, stats=RunStats(ranks=rank_stats))
+
+
+def _is_secondary_abort(exc: BaseException) -> bool:
+    """True for errors caused by another rank's failure (broken barriers)."""
+    from repro.runtime.comm import DeadlockError
+
+    return isinstance(exc, (threading.BrokenBarrierError, DeadlockError))

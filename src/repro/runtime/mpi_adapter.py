@@ -1,0 +1,176 @@
+"""Adapter: run the SPMD algorithm code on a REAL mpi4py communicator.
+
+Every algorithm in :mod:`repro.core` talks to the small communicator API of
+:class:`~repro.runtime.comm.SimComm` (``send/recv``, ``allgather``,
+``alltoall``, ``allreduce``, ``bcast``, ``barrier``, plus ``phase`` /
+``add_compute`` instrumentation).  :class:`MPIAdapter` provides the same
+surface on top of an ``mpi4py``-style communicator, so the identical worker
+functions run unchanged on an actual cluster::
+
+    from mpi4py import MPI
+    from repro.runtime.mpi_adapter import MPIAdapter
+    from repro.core.local_clustering import LocalClustering
+    ...
+    comm = MPIAdapter(MPI.COMM_WORLD)
+    LocalClustering(comm, my_local_graph, heuristic).run()
+
+The adapter keeps the same byte/compute accounting as the simulator (so the
+cost model and trace tooling keep working), implemented entirely in terms
+of the lowercase (pickle-based) mpi4py API.  It is duck-typed: anything
+exposing ``Get_rank/Get_size/send/recv/allgather/alltoall/allreduce/bcast/
+barrier`` works, which is how the test suite exercises it without an MPI
+installation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.runtime import reducers
+from repro.runtime.comm import CommError
+from repro.runtime.stats import RankStats, payload_nbytes
+
+__all__ = ["MPIAdapter"]
+
+
+class MPIAdapter:
+    """SimComm-compatible facade over an mpi4py-style communicator."""
+
+    def __init__(self, mpi_comm, stats: RankStats | None = None) -> None:
+        self._mpi = mpi_comm
+        self.rank = int(mpi_comm.Get_rank())
+        self.size = int(mpi_comm.Get_size())
+        self.stats = stats if stats is not None else RankStats(rank=self.rank)
+        self._phase = "other"
+
+    # -- instrumentation (identical to SimComm) --------------------------
+    def set_phase(self, name: str) -> None:
+        self._phase = name
+
+    class _PhaseCtx:
+        def __init__(self, comm: "MPIAdapter", name: str) -> None:
+            self._comm = comm
+            self._name = name
+            self._prev = comm._phase
+
+        def __enter__(self):
+            self._prev = self._comm._phase
+            self._comm._phase = self._name
+            return self._comm
+
+        def __exit__(self, *exc):
+            self._comm._phase = self._prev
+            return False
+
+    def phase(self, name: str) -> "MPIAdapter._PhaseCtx":
+        return MPIAdapter._PhaseCtx(self, name)
+
+    def add_compute(self, units: float) -> None:
+        self.stats.add_compute(units, self._phase)
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise CommError(f"send: bad destination rank {dest}")
+        self.stats.add_sent(payload_nbytes(obj), self._phase)
+        self._mpi.send(obj, dest=dest, tag=tag)
+
+    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+        if not 0 <= source < self.size:
+            raise CommError(f"recv: bad source rank {source}")
+        payload = self._mpi.recv(source=source, tag=tag)
+        self.stats.add_recv(payload_nbytes(payload), self._phase)
+        return payload
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self) -> None:
+        self._mpi.barrier()
+        self.stats.close_superstep(self._phase)
+
+    def allgather(self, value: Any) -> list[Any]:
+        nbytes = payload_nbytes(value)
+        out = list(self._mpi.allgather(value))
+        self.stats.add_sent(nbytes * (self.size - 1), self._phase, self.size - 1)
+        self.stats.add_recv(
+            sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
+            self._phase,
+        )
+        self.stats.close_superstep(self._phase)
+        return out
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        if len(values) != self.size:
+            raise CommError(
+                f"alltoall: expected {self.size} payloads, got {len(values)}"
+            )
+        sent = sum(
+            payload_nbytes(v) for i, v in enumerate(values) if i != self.rank
+        )
+        self.stats.add_sent(sent, self._phase, self.size - 1)
+        out = list(self._mpi.alltoall(list(values)))
+        self.stats.add_recv(
+            sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
+            self._phase,
+        )
+        self.stats.close_superstep(self._phase)
+        return out
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"bcast: bad root {root}")
+        result = self._mpi.bcast(value, root=root)
+        if self.size > 1:
+            log_p = max(1, math.ceil(math.log2(self.size)))
+            nbytes = payload_nbytes(result)
+            self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            self.stats.add_recv(nbytes, self._phase)
+        self.stats.close_superstep(self._phase)
+        return result
+
+    def allreduce(self, value: Any, op: Callable = reducers.SUM) -> Any:
+        # mpi4py's allreduce takes MPI.Op objects; arbitrary Python
+        # reducers (like the hub-consensus elementwise op) go through
+        # allgather + deterministic left fold, exactly as the simulator
+        out = list(self._mpi.allgather(value))
+        result = reducers.reduce_values(out, op)
+        if self.size > 1:
+            log_p = max(1, math.ceil(math.log2(self.size)))
+            nbytes = payload_nbytes(value)
+            self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            self.stats.add_recv(nbytes * log_p, self._phase)
+        self.stats.close_superstep(self._phase)
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        if not 0 <= root < self.size:
+            raise CommError(f"gather: bad root {root}")
+        out = self._mpi.gather(value, root=root)
+        if self.rank != root:
+            self.stats.add_sent(payload_nbytes(value), self._phase)
+        elif out is not None:
+            self.stats.add_recv(
+                sum(payload_nbytes(v) for i, v in enumerate(out) if i != root),
+                self._phase,
+            )
+        self.stats.close_superstep(self._phase)
+        return list(out) if out is not None else None
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"scatter: bad root {root}")
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommError(
+                    f"scatter: root must supply exactly {self.size} payloads"
+                )
+            self.stats.add_sent(
+                sum(payload_nbytes(v) for i, v in enumerate(values) if i != root),
+                self._phase,
+                self.size - 1,
+            )
+        mine = self._mpi.scatter(list(values) if values is not None else None, root=root)
+        if self.rank != root:
+            self.stats.add_recv(payload_nbytes(mine), self._phase)
+        self.stats.close_superstep(self._phase)
+        return mine

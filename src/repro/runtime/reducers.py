@@ -1,0 +1,76 @@
+"""Reduction operators for the simulated collectives.
+
+Each operator is a binary callable working on scalars *and* (elementwise) on
+NumPy arrays, mirroring the semantics of the corresponding ``MPI.Op``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["SUM", "MAX", "MIN", "PROD", "LAND", "LOR", "MAXLOC", "MINLOC", "reduce_values"]
+
+T = TypeVar("T")
+
+
+def SUM(a, b):
+    return a + b
+
+
+def PROD(a, b):
+    return a * b
+
+
+def MAX(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return a if a >= b else b
+
+
+def MIN(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return a if a <= b else b
+
+
+def LAND(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def LOR(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+def MAXLOC(a: tuple, b: tuple):
+    """``(value, index)`` pairs; ties resolved toward the smaller index,
+    matching ``MPI.MAXLOC``."""
+    if a[0] > b[0]:
+        return a
+    if b[0] > a[0]:
+        return b
+    return a if a[1] <= b[1] else b
+
+
+def MINLOC(a: tuple, b: tuple):
+    """``(value, index)`` pairs; ties resolved toward the smaller index."""
+    if a[0] < b[0]:
+        return a
+    if b[0] < a[0]:
+        return b
+    return a if a[1] <= b[1] else b
+
+
+def reduce_values(values: Sequence[T], op: Callable[[T, T], T]) -> T:
+    """Left fold in rank order — deterministic regardless of thread timing."""
+    if not values:
+        raise ValueError("cannot reduce an empty sequence")
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc

@@ -1,0 +1,173 @@
+"""Per-rank traffic / compute accounting for the simulated runtime.
+
+Every quantity the paper measures about communication (Figs. 6 and 8) is a
+function of these counters, so they are the ground truth of the whole
+benchmark harness.  Compute is counted in abstract *work units* (one unit ==
+one scanned edge endpoint, by convention of the algorithms in
+:mod:`repro.core`); bytes are measured from the actual payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["payload_nbytes", "RankStats", "RunStats", "Superstep"]
+
+
+def payload_nbytes(obj) -> int:
+    """Stable byte-size estimate of a message payload.
+
+    NumPy arrays and raw byte strings are measured exactly; everything else
+    is measured as its pickle length, which is what an mpi4py lowercase-API
+    send would actually put on the wire.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if obj is None:
+        return 0
+    if isinstance(obj, (int, np.integer)):
+        return 8
+    if isinstance(obj, (float, np.floating)):
+        return 8
+    if isinstance(obj, tuple) and all(
+        isinstance(x, (int, float, np.integer, np.floating, np.ndarray)) for x in obj
+    ):
+        return sum(payload_nbytes(x) for x in obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # unpicklable sentinel objects (tests only)
+
+
+@dataclass
+class Superstep:
+    """Work accumulated by one rank between two global synchronisation
+    points (collectives)."""
+
+    compute: float = 0.0
+    bytes_sent: float = 0.0
+    bytes_recv: float = 0.0
+    messages: int = 0
+    phase: str = ""
+
+
+@dataclass
+class RankStats:
+    """Counters for a single simulated rank."""
+
+    rank: int = 0
+    compute_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    bytes_sent_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    bytes_recv_by_phase: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    messages_sent_by_phase: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    collectives_by_phase: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    supersteps: list[Superstep] = field(default_factory=list)
+    _open: Superstep = field(default_factory=Superstep)
+
+    # -- recording -----------------------------------------------------
+    def add_compute(self, units: float, phase: str) -> None:
+        self.compute_by_phase[phase] += units
+        self._open.compute += units
+        if not self._open.phase:  # first activity tags the superstep
+            self._open.phase = phase
+
+    def add_sent(self, nbytes: float, phase: str, messages: int = 1) -> None:
+        self.bytes_sent_by_phase[phase] += nbytes
+        self.messages_sent_by_phase[phase] += messages
+        self._open.bytes_sent += nbytes
+        self._open.messages += messages
+        if not self._open.phase:
+            self._open.phase = phase
+
+    def add_recv(self, nbytes: float, phase: str) -> None:
+        self.bytes_recv_by_phase[phase] += nbytes
+        self._open.bytes_recv += nbytes
+
+    def close_superstep(self, phase: str) -> None:
+        """Called by every collective: ends the current BSP superstep."""
+        self.collectives_by_phase[phase] += 1
+        if not self._open.phase:
+            self._open.phase = phase
+        self.supersteps.append(self._open)
+        self._open = Superstep()
+
+    # -- summaries -----------------------------------------------------
+    @property
+    def total_compute(self) -> float:
+        return sum(self.compute_by_phase.values())
+
+    @property
+    def total_bytes_sent(self) -> float:
+        return sum(self.bytes_sent_by_phase.values())
+
+    @property
+    def total_bytes_recv(self) -> float:
+        return sum(self.bytes_recv_by_phase.values())
+
+    @property
+    def total_messages_sent(self) -> int:
+        return sum(self.messages_sent_by_phase.values())
+
+    @property
+    def total_collectives(self) -> int:
+        return sum(self.collectives_by_phase.values())
+
+
+@dataclass
+class RunStats:
+    """Counters for a whole SPMD run (one :func:`repro.runtime.run_spmd`)."""
+
+    ranks: list[RankStats]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def compute_per_rank(self) -> np.ndarray:
+        return np.asarray([r.total_compute for r in self.ranks])
+
+    def bytes_sent_per_rank(self) -> np.ndarray:
+        return np.asarray([r.total_bytes_sent for r in self.ranks])
+
+    def phases(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.ranks:
+            for ph in r.compute_by_phase:
+                seen.setdefault(ph, None)
+            for ph in r.bytes_sent_by_phase:
+                seen.setdefault(ph, None)
+            for ph in r.collectives_by_phase:
+                seen.setdefault(ph, None)
+        return list(seen)
+
+    def phase_compute(self, phase: str) -> np.ndarray:
+        return np.asarray([r.compute_by_phase.get(phase, 0.0) for r in self.ranks])
+
+    def phase_bytes_sent(self, phase: str) -> np.ndarray:
+        return np.asarray(
+            [r.bytes_sent_by_phase.get(phase, 0.0) for r in self.ranks]
+        )
+
+    def phase_collectives(self, phase: str) -> np.ndarray:
+        return np.asarray(
+            [r.collectives_by_phase.get(phase, 0) for r in self.ranks], dtype=np.int64
+        )
+
+    def n_supersteps(self) -> int:
+        return max((len(r.supersteps) for r in self.ranks), default=0)

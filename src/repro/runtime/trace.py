@@ -1,0 +1,125 @@
+"""Run-trace export: persist measured statistics for offline analysis.
+
+A :class:`~repro.runtime.stats.RunStats` (what every distributed run
+returns) serialises to a plain-JSON document with per-rank phase totals and
+the full superstep log, so performance investigations don't require holding
+the Python objects — the same role MPI profiling dumps play in the paper's
+workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.costmodel import MachineModel, TITAN_LIKE, simulate_time
+from repro.runtime.stats import RankStats, RunStats, Superstep
+
+__all__ = ["stats_to_dict", "stats_from_dict", "save_stats", "load_stats", "summarize"]
+
+_FORMAT_VERSION = 1
+
+
+def stats_to_dict(stats: RunStats) -> dict[str, Any]:
+    """Serialise to plain JSON-compatible data."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "n_ranks": stats.size,
+        "ranks": [
+            {
+                "rank": r.rank,
+                "compute_by_phase": dict(r.compute_by_phase),
+                "bytes_sent_by_phase": dict(r.bytes_sent_by_phase),
+                "bytes_recv_by_phase": dict(r.bytes_recv_by_phase),
+                "messages_sent_by_phase": dict(r.messages_sent_by_phase),
+                "collectives_by_phase": dict(r.collectives_by_phase),
+                "supersteps": [
+                    {
+                        "compute": s.compute,
+                        "bytes_sent": s.bytes_sent,
+                        "bytes_recv": s.bytes_recv,
+                        "messages": s.messages,
+                        "phase": s.phase,
+                    }
+                    for s in r.supersteps
+                ],
+            }
+            for r in stats.ranks
+        ],
+    }
+
+
+def stats_from_dict(data: dict[str, Any]) -> RunStats:
+    """Inverse of :func:`stats_to_dict`."""
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format {data.get('format_version')!r}"
+        )
+    ranks = []
+    for rd in data["ranks"]:
+        rs = RankStats(rank=rd["rank"])
+        rs.compute_by_phase.update(rd["compute_by_phase"])
+        rs.bytes_sent_by_phase.update(rd["bytes_sent_by_phase"])
+        rs.bytes_recv_by_phase.update(rd["bytes_recv_by_phase"])
+        rs.messages_sent_by_phase.update(
+            {k: int(v) for k, v in rd["messages_sent_by_phase"].items()}
+        )
+        rs.collectives_by_phase.update(
+            {k: int(v) for k, v in rd["collectives_by_phase"].items()}
+        )
+        rs.supersteps = [
+            Superstep(
+                compute=s["compute"],
+                bytes_sent=s["bytes_sent"],
+                bytes_recv=s["bytes_recv"],
+                messages=int(s["messages"]),
+                phase=s["phase"],
+            )
+            for s in rd["supersteps"]
+        ]
+        ranks.append(rs)
+    return RunStats(ranks=ranks)
+
+
+def save_stats(stats: RunStats, path: str | Path) -> None:
+    """Write a JSON trace file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(stats_to_dict(stats), fh)
+
+
+def load_stats(path: str | Path) -> RunStats:
+    """Read a JSON trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return stats_from_dict(json.load(fh))
+
+
+def summarize(stats: RunStats, machine: MachineModel = TITAN_LIKE) -> str:
+    """Human-readable run summary (per-phase work/traffic + cost model)."""
+    lines = [
+        f"ranks            : {stats.size}",
+        f"supersteps       : {stats.n_supersteps()}",
+    ]
+    t = simulate_time(stats, machine)
+    lines.append(
+        f"simulated time   : {t.total:.6f}s "
+        f"(compute {t.compute:.6f}, latency {t.latency:.6f}, "
+        f"bandwidth {t.bandwidth:.6f})"
+    )
+    compute = stats.compute_per_rank()
+    sent = stats.bytes_sent_per_rank()
+    lines.append(
+        f"compute units    : total {compute.sum():.0f}, "
+        f"max/mean {compute.max() / max(compute.mean(), 1e-12):.2f}"
+    )
+    lines.append(
+        f"bytes sent       : total {sent.sum():.0f}, "
+        f"max/mean {sent.max() / max(sent.mean(), 1e-12):.2f}"
+    )
+    lines.append("per-phase (compute units | bytes sent | collectives):")
+    for phase in sorted(stats.phases()):
+        c = stats.phase_compute(phase).sum()
+        b = stats.phase_bytes_sent(phase).sum()
+        k = stats.phase_collectives(phase).max() if stats.size else 0
+        lines.append(f"  {phase:20s} {c:14.0f} | {b:14.0f} | {k}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Tests for the dataset analogue registry."""
+
+import numpy as np
+import pytest
+
+from repro.bench import DATASETS, load_dataset
+
+
+class TestRegistry:
+    def test_all_twelve_table1_rows_present(self):
+        expected = {
+            "amazon", "dblp", "nd-web", "youtube", "livejournal",
+            "uk-2005", "webbase-2001", "friendster", "uk-2007",
+            "lfr", "rmat", "ba",
+        }
+        assert set(DATASETS) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("twitter")
+
+    def test_specs_carry_paper_sizes(self):
+        assert DATASETS["uk-2007"].paper_edges == "3.78B"
+        assert DATASETS["amazon"].paper_vertices == "0.34M"
+
+
+class TestAnalogues:
+    @pytest.mark.parametrize("name", ["amazon", "nd-web", "lfr", "rmat", "ba"])
+    def test_valid_graphs(self, name):
+        ds = load_dataset(name)
+        ds.graph.validate()
+        assert ds.graph.n_vertices > 100
+        assert ds.graph.n_edges > 100
+
+    def test_social_analogues_have_ground_truth(self):
+        # nd-web's analogue is an LFR with a web-like tail (see datasets.py)
+        # so it carries ground truth despite being a web crawl in Table I
+        with_truth = {"lfr", "nd-web"}
+        for name, spec in DATASETS.items():
+            ds = load_dataset(name)
+            if spec.family == "social" or name in with_truth:
+                assert ds.ground_truth is not None
+                assert ds.ground_truth.shape == (ds.graph.n_vertices,)
+            else:
+                assert ds.ground_truth is None
+
+    def test_size_ordering_preserved(self):
+        """The Table I ladder: amazon < livejournal < uk-2007 in edges."""
+        e = {n: load_dataset(n).graph.n_edges for n in ("amazon", "livejournal", "uk-2007")}
+        assert e["amazon"] < e["livejournal"] < e["uk-2007"]
+
+    def test_web_analogues_are_hubby(self):
+        """Web crawls must have much heavier tails than social analogues."""
+        web = load_dataset("uk-2007").graph
+        social = load_dataset("amazon").graph
+        web_ratio = web.degrees.max() / web.degrees.mean()
+        social_ratio = social.degrees.max() / social.degrees.mean()
+        assert web_ratio > 3 * social_ratio
+
+    def test_deterministic_and_cached(self):
+        a = load_dataset("amazon")
+        b = load_dataset("amazon")
+        assert a is b  # cache hit
+
+    def test_fresh_generation_reproducible(self):
+        spec = DATASETS["lfr"]
+        a = spec.generator()
+        b = spec.generator()
+        assert a.graph == b.graph
+        assert np.array_equal(a.ground_truth, b.ground_truth)

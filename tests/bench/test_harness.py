@@ -1,0 +1,90 @@
+"""Tests for the experiment harness (small configurations only)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, harness
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        from repro.bench.report import format_series
+
+        assert format_series("s", [1, 2], [0.5, 1.0]) == "s: 1=0.5, 2=1"
+
+
+class TestScaledDHigh:
+    def test_rule(self):
+        assert harness.scaled_d_high(4) == 32
+        assert harness.scaled_d_high(32) == 256
+
+
+class TestRunners:
+    """Smoke-level runs on the smallest dataset; full runs live in
+    benchmarks/."""
+
+    def test_convergence_runner(self):
+        out = harness.run_convergence(["lfr"], n_ranks=4)
+        curves = out["lfr"]
+        assert set(curves) == {"sequential", "minlabel", "enhanced"}
+        assert all(len(c) >= 1 for c in curves.values())
+        # enhanced must land near sequential (the Fig. 5 claim)
+        assert curves["enhanced"][-1] > curves["sequential"][-1] - 0.05
+
+    def test_quality_runner(self):
+        out = harness.run_quality(["lfr"], n_ranks=4)
+        assert "lfr" in out and "lfr-vs-truth" in out
+        assert out["lfr"]["NMI"] > 0.6
+        assert set(out["lfr"]) == {"NMI", "F-measure", "NVD", "RI", "ARI", "JI"}
+
+    def test_partition_runner(self):
+        out = harness.run_partition_analysis("lfr", p_detail=8, p_sweep=(4, 8))
+        assert out["1d_edges_per_rank"].shape == (8,)
+        assert out["delegate_edges_per_rank"].shape == (8,)
+        assert len(out["sweep"]) == 2
+        for row in out["sweep"]:
+            assert row["W_delegate"] <= row["W_1d"] + 1e-9
+
+    def test_vs_1d_runner(self):
+        rows = harness.run_vs_1d(["lfr"], n_ranks=4)
+        row = rows[0]
+        assert row["ours_time"] > 0 and row["1d_time"] > 0
+        assert row["dataset"] == "lfr"
+
+    def test_breakdown_runner(self):
+        rows = harness.run_breakdown("lfr", p_sweep=(4,))
+        row = rows[0]
+        assert row["stage1_time"] > 0
+        for ph in ("find_best", "bcast_delegates", "swap_ghost", "other"):
+            assert row[f"iter_{ph}"] >= 0
+
+    def test_synthetic_scaling_runner(self):
+        out = harness.run_synthetic_scaling(
+            strong_scale=8, weak_base_scale=7, p_sweep=(2, 4), edge_factor=4
+        )
+        assert set(out["strong"]) == {"rmat", "ba"}
+        assert set(out["weak"]) == {"rmat", "ba"}
+        for series in list(out["strong"].values()) + list(out["weak"].values()):
+            assert len(series) == 2
+            assert all(t > 0 for t in series)
+
+    def test_breakdown_phase_keys(self):
+        rows = harness.run_breakdown("lfr", p_sweep=(2,))
+        assert {"p", "stage1_time", "stage2_time", "s1_iterations",
+                "n_hubs"} <= set(rows[0])
+
+    def test_scaling_and_efficiency(self):
+        scaling = harness.run_scaling(["lfr"], p_sweep=(2, 4))
+        entry = scaling["lfr"]
+        assert len(entry["time"]) == 2
+        assert entry["sequential_time"] > 0
+        eff = harness.parallel_efficiency(scaling)
+        assert len(eff["lfr"]) == 1
+        assert eff["lfr"][0] > 0

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    copying_web_graph,
+    karate_club,
+    lfr_graph,
+    planted_partition,
+    ring_of_cliques,
+    two_triangles_bridge,
+)
+
+
+@pytest.fixture(scope="session")
+def karate() -> CSRGraph:
+    return karate_club()
+
+
+@pytest.fixture(scope="session")
+def cliques() -> CSRGraph:
+    return ring_of_cliques(6, 5)
+
+
+@pytest.fixture(scope="session")
+def triangles() -> CSRGraph:
+    return two_triangles_bridge()
+
+
+@pytest.fixture(scope="session")
+def web_graph() -> CSRGraph:
+    return copying_web_graph(800, 5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ba_graph() -> CSRGraph:
+    return barabasi_albert(600, 3, seed=12)
+
+
+@pytest.fixture(scope="session")
+def lfr_small():
+    """LFR benchmark with ground truth (500 vertices, crisp communities)."""
+    return lfr_graph(500, mu=0.1, seed=13)
+
+
+@pytest.fixture(scope="session")
+def planted():
+    graph, labels = planted_partition(6, 20, p_in=0.5, p_out=0.02, seed=14)
+    return graph, labels
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2026)
+
+
+def random_graph(seed: int, n: int = 60, p_edge: float = 0.12) -> CSRGraph:
+    """Small Erdos-Renyi helper for randomized structural tests."""
+    r = np.random.default_rng(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = r.random(iu.size) < p_edge
+    return CSRGraph.from_edges(
+        n, np.stack([iu[keep], ju[keep]], axis=1)
+    )

@@ -1,0 +1,49 @@
+"""Tests for the Cheong-style 1D hierarchical baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import cheong_louvain, distributed_louvain, modularity
+from repro.core import DistributedConfig, sequential_louvain
+
+
+class TestCheong:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_q_matches_assignment(self, web_graph, p):
+        res = cheong_louvain(web_graph, p)
+        assert np.isclose(res.modularity, modularity(web_graph, res.assignment))
+
+    def test_assignment_complete(self, web_graph):
+        res = cheong_louvain(web_graph, 4)
+        assert res.assignment.shape == (web_graph.n_vertices,)
+        assert np.all(res.assignment >= 0)
+
+    def test_single_rank_equals_sequentialish(self, karate):
+        """With one rank no edges are dropped: quality must be near
+        sequential Louvain."""
+        seq = sequential_louvain(karate)
+        res = cheong_louvain(karate, 1)
+        assert res.modularity > seq.modularity - 0.05
+
+    def test_accuracy_loss_vs_our_algorithm(self, lfr_small):
+        """The paper's point: dropping cross-partition edges costs quality
+        relative to the delegate algorithm."""
+        ours = distributed_louvain(lfr_small.graph, 8, DistributedConfig(d_high=64))
+        base = cheong_louvain(lfr_small.graph, 8)
+        assert ours.modularity >= base.modularity - 0.01
+
+    def test_deterministic(self, web_graph):
+        a = cheong_louvain(web_graph, 4)
+        b = cheong_louvain(web_graph, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_stats_collected(self, web_graph):
+        res = cheong_louvain(web_graph, 4)
+        assert res.stats.size == 4
+        assert res.stats.compute_per_rank().sum() > 0
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        res = cheong_louvain(CSRGraph.from_edges(3, []), 2)
+        assert res.assignment.shape == (3,)

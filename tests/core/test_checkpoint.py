@@ -1,0 +1,134 @@
+"""Tests for checkpoint / resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedConfig, distributed_louvain, modularity
+from repro.core.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    resume_distributed_louvain,
+    save_checkpoint,
+)
+
+
+@pytest.fixture()
+def partial_run(lfr_small):
+    """A deliberately under-converged run (one level only)."""
+    cfg = DistributedConfig(d_high=64, max_levels=1)
+    return distributed_louvain(lfr_small.graph, 4, cfg)
+
+
+class TestSaveLoad:
+    def test_roundtrip_from_result(self, partial_run, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, partial_run)
+        ckpt = load_checkpoint(path)
+        assert np.array_equal(ckpt.assignment, partial_run.assignment)
+        assert ckpt.modularity == partial_run.modularity
+        assert ckpt.levels_completed == partial_run.n_levels
+
+    def test_roundtrip_from_checkpoint_object(self, tmp_path):
+        ckpt = Checkpoint(
+            assignment=np.array([0, 1, 1, 0]),
+            modularity=0.25,
+            n_vertices=4,
+            levels_completed=2,
+        )
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, ckpt)
+        restored = load_checkpoint(path)
+        assert np.array_equal(restored.assignment, ckpt.assignment)
+        assert restored.modularity == 0.25
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        meta = json.dumps({"format_version": 99, "modularity": 0,
+                           "n_vertices": 1, "levels_completed": 0})
+        np.savez(path, assignment=np.zeros(1, dtype=np.int64),
+                 meta=np.frombuffer(meta.encode(), dtype=np.uint8))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_checkpoint(path)
+
+
+class TestValidation:
+    def test_wrong_graph_rejected(self, karate, lfr_small):
+        ckpt = Checkpoint(
+            assignment=np.zeros(34, dtype=np.int64),
+            modularity=0.0,
+            n_vertices=34,
+            levels_completed=1,
+        )
+        with pytest.raises(ValueError, match="vertex"):
+            resume_distributed_louvain(lfr_small.graph, ckpt, 2)
+
+    def test_negative_labels_rejected(self, karate):
+        ckpt = Checkpoint(
+            assignment=np.full(34, -1, dtype=np.int64),
+            modularity=0.0,
+            n_vertices=34,
+            levels_completed=1,
+        )
+        with pytest.raises(ValueError, match="negative"):
+            resume_distributed_louvain(karate, ckpt, 2)
+
+
+class TestResume:
+    def test_resume_improves_partial_run(self, lfr_small, partial_run, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, partial_run)
+        ckpt = load_checkpoint(path)
+        resumed = resume_distributed_louvain(
+            lfr_small.graph, ckpt, 4, DistributedConfig(d_high=64)
+        )
+        assert resumed.modularity >= partial_run.modularity - 1e-12
+        assert np.isclose(
+            resumed.modularity, modularity(lfr_small.graph, resumed.assignment)
+        )
+
+    def test_resume_matches_uninterrupted_quality(self, lfr_small, partial_run):
+        ckpt = Checkpoint(
+            assignment=partial_run.assignment,
+            modularity=partial_run.modularity,
+            n_vertices=lfr_small.graph.n_vertices,
+            levels_completed=partial_run.n_levels,
+        )
+        resumed = resume_distributed_louvain(
+            lfr_small.graph, ckpt, 4, DistributedConfig(d_high=64)
+        )
+        straight = distributed_louvain(
+            lfr_small.graph, 4, DistributedConfig(d_high=64)
+        )
+        assert resumed.modularity > straight.modularity - 0.03
+
+    def test_resume_with_different_rank_count(self, lfr_small, partial_run):
+        ckpt = Checkpoint(
+            assignment=partial_run.assignment,
+            modularity=partial_run.modularity,
+            n_vertices=lfr_small.graph.n_vertices,
+            levels_completed=partial_run.n_levels,
+        )
+        resumed = resume_distributed_louvain(
+            lfr_small.graph, ckpt, 2, DistributedConfig(d_high=64)
+        )
+        assert np.isclose(
+            resumed.modularity, modularity(lfr_small.graph, resumed.assignment)
+        )
+
+    def test_resumed_dendrogram_spans_original_vertices(
+        self, lfr_small, partial_run
+    ):
+        ckpt = Checkpoint(
+            assignment=partial_run.assignment,
+            modularity=partial_run.modularity,
+            n_vertices=lfr_small.graph.n_vertices,
+            levels_completed=partial_run.n_levels,
+        )
+        resumed = resume_distributed_louvain(
+            lfr_small.graph, ckpt, 4, DistributedConfig(d_high=64)
+        )
+        d = resumed.dendrogram()
+        assert d.n_vertices == lfr_small.graph.n_vertices
+        assert np.array_equal(d.final(), resumed.assignment)

@@ -1,0 +1,92 @@
+"""Tests for community coarsening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coarsen import coarsen_graph
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+
+
+class TestCoarsenBasics:
+    def test_two_triangles(self, triangles):
+        coarse, dense = coarsen_graph(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        assert coarse.n_vertices == 2
+        assert coarse.edge_weight(0, 1) == 1.0  # the bridge
+        assert coarse.edge_weight(0, 0) == 3.0  # internal triangle weight
+        assert np.isclose(coarse.total_weight, triangles.total_weight)
+
+    def test_identity_assignment(self, karate):
+        coarse, dense = coarsen_graph(karate, np.arange(34))
+        assert coarse.n_vertices == 34
+        assert np.isclose(coarse.total_weight, karate.total_weight)
+
+    def test_all_in_one(self, karate):
+        coarse, _ = coarsen_graph(karate, np.zeros(34, dtype=np.int64))
+        assert coarse.n_vertices == 1
+        assert coarse.edge_weight(0, 0) == karate.total_weight
+
+    def test_labels_densified(self, triangles):
+        _, dense = coarsen_graph(triangles, np.array([10, 10, 10, 77, 77, 77]))
+        assert set(dense.tolist()) == {0, 1}
+
+    def test_self_loops_preserved(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 2)], weights=[2.0, 1.0, 1.0])
+        coarse, _ = coarsen_graph(g, np.array([0, 0, 1]))
+        # community 0: edge (0,1) internal + self-loop 2.0 -> self-loop 3.0
+        assert coarse.edge_weight(0, 0) == 3.0
+        assert np.isclose(coarse.total_weight, g.total_weight)
+
+    def test_bad_shape(self, karate):
+        with pytest.raises(ValueError):
+            coarsen_graph(karate, np.zeros(5, dtype=np.int64))
+
+
+class TestModularityInvariance:
+    """The defining property: Q(fine, flat) == Q(coarse, coarse-assignment)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_karate_random_two_stage(self, karate, seed):
+        rng = np.random.default_rng(seed)
+        a1 = rng.integers(0, 6, 34)
+        coarse, dense = coarsen_graph(karate, a1)
+        # singleton coarse assignment: Q equal by construction
+        assert np.isclose(
+            modularity(karate, a1),
+            modularity(coarse, np.arange(coarse.n_vertices)),
+        )
+        # second-stage grouping of coarse vertices
+        a2 = rng.integers(0, 3, coarse.n_vertices)
+        flat = a2[dense]
+        assert np.isclose(
+            modularity(karate, flat), modularity(coarse, a2)
+        )
+
+    def test_degrees_equal_sigma_tot(self, web_graph):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 8, web_graph.n_vertices)
+        coarse, dense = coarsen_graph(web_graph, a)
+        from repro.core.modularity import community_aggregates
+
+        _, sigma_tot = community_aggregates(web_graph, a)
+        for c in range(coarse.n_vertices):
+            orig_label = a[np.flatnonzero(dense == c)[0]]
+            assert np.isclose(coarse.weighted_degrees[c], sigma_tot[orig_label])
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_coarsen_q_invariance_random(seed, k):
+    from tests.conftest import random_graph
+
+    g = random_graph(seed, n=40, p_edge=0.15)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, k, g.n_vertices)
+    coarse, dense = coarsen_graph(g, a)
+    coarse.validate()
+    assert np.isclose(coarse.total_weight, g.total_weight)
+    assert np.isclose(
+        modularity(g, a), modularity(coarse, np.arange(coarse.n_vertices))
+    )

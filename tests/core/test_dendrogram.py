@@ -1,0 +1,87 @@
+"""Tests for the Dendrogram hierarchy API."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedConfig, distributed_louvain, sequential_louvain
+from repro.core.dendrogram import Dendrogram
+
+
+class TestConstruction:
+    def test_valid_two_level(self):
+        d = Dendrogram(4, [np.array([0, 0, 1, 1]), np.array([0, 0])])
+        assert d.n_levels == 2
+        assert d.n_communities_at(0) == 2
+        assert d.n_communities_at(1) == 1
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Dendrogram(4, [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dendrogram(4, [np.array([0, 0, 1])])
+
+    def test_non_dense_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Dendrogram(3, [np.array([0, 2, 2])])
+
+    def test_chained_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            # level 0 has 2 communities but level 1 maps 3
+            Dendrogram(4, [np.array([0, 0, 1, 1]), np.array([0, 1, 1])])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Dendrogram(2, [np.array([-1, 0])])
+
+
+class TestAccessors:
+    def test_communities_at_composes(self):
+        d = Dendrogram(4, [np.array([0, 1, 2, 2]), np.array([0, 0, 1])])
+        assert list(d.communities_at(0)) == [0, 1, 2, 2]
+        assert list(d.communities_at(1)) == [0, 0, 1, 1]
+        assert list(d.final()) == [0, 0, 1, 1]
+
+    def test_level_out_of_range(self):
+        d = Dendrogram(2, [np.array([0, 1])])
+        with pytest.raises(IndexError):
+            d.communities_at(1)
+
+    def test_cut(self):
+        d = Dendrogram(4, [np.array([0, 1, 2, 3]), np.array([0, 0, 1, 1]),
+                           np.array([0, 0])])
+        assert list(d.cut(2)) == [0, 0, 1, 1]
+        assert list(d.cut(1)) == [0, 0, 0, 0]
+        assert list(d.cut(10)) == [0, 1, 2, 3]
+
+    def test_from_flat(self):
+        d = Dendrogram.from_flat(np.array([7, 7, 3]))
+        assert list(d.final()) == [0, 0, 1]
+
+    def test_repr(self):
+        d = Dendrogram(2, [np.array([0, 0])])
+        assert "level_sizes=[1]" in repr(d)
+
+
+class TestAlgorithmIntegration:
+    def test_sequential_roundtrip(self, karate):
+        res = sequential_louvain(karate)
+        d = Dendrogram.from_sequential(res)
+        assert np.array_equal(d.final(), res.assignment)
+        profile = d.modularity_profile(karate)
+        assert np.isclose(profile[-1], res.modularity)
+        # modularity is non-decreasing down the hierarchy
+        assert all(b >= a - 1e-12 for a, b in zip(profile, profile[1:]))
+
+    def test_distributed_roundtrip(self, web_graph):
+        res = distributed_louvain(web_graph, 4, DistributedConfig(d_high=40))
+        d = res.dendrogram()
+        assert np.array_equal(d.final(), res.assignment)
+        assert d.n_levels == len(res.level_mappings)
+
+    def test_profile_wrong_graph_rejected(self, karate, web_graph):
+        res = sequential_louvain(karate)
+        d = Dendrogram.from_sequential(res)
+        with pytest.raises(ValueError):
+            d.modularity_profile(web_graph)

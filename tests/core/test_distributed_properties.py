@@ -1,0 +1,74 @@
+"""Hypothesis property tests on the full distributed pipeline.
+
+The master invariant: for ANY graph, rank count, hub threshold and
+heuristic, the algorithm's self-reported modularity equals an independent
+recomputation from the returned assignment — which can only hold if the
+delegate consensus, ghost exchange, owner aggregation, merging and level
+composition are all mutually consistent.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistributedConfig, distributed_louvain
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def clustering_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    m = draw(st.integers(min_value=0, max_value=50))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    p = draw(st.integers(min_value=1, max_value=4))
+    d_high = draw(st.sampled_from([1, 3, 8, 10**9]))
+    heuristic = draw(st.sampled_from(["greedy", "minlabel", "enhanced"]))
+    return CSRGraph.from_edges(n, edges), p, d_high, heuristic
+
+
+@given(clustering_cases())
+@settings(max_examples=50, deadline=None)
+def test_self_reported_q_always_exact(case):
+    graph, p, d_high, heuristic = case
+    cfg = DistributedConfig(d_high=d_high, heuristic=heuristic, max_inner=15)
+    res = distributed_louvain(graph, p, cfg)
+    assert res.assignment.shape == (graph.n_vertices,)
+    assert np.all(res.assignment >= 0)
+    assert np.isclose(res.modularity, modularity(graph, res.assignment)), (
+        p,
+        d_high,
+        heuristic,
+    )
+
+
+@given(clustering_cases())
+@settings(max_examples=30, deadline=None)
+def test_determinism_under_repetition(case):
+    graph, p, d_high, heuristic = case
+    cfg = DistributedConfig(d_high=d_high, heuristic=heuristic, max_inner=10)
+    a = distributed_louvain(graph, p, cfg)
+    b = distributed_louvain(graph, p, cfg)
+    assert np.array_equal(a.assignment, b.assignment)
+    assert a.modularity == b.modularity
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_never_worse_than_singletons(seed, p):
+    """Q of the result must be >= Q of the all-singleton start state."""
+    from tests.conftest import random_graph
+
+    g = random_graph(seed, n=40, p_edge=0.1)
+    res = distributed_louvain(g, p, DistributedConfig(d_high=16, max_inner=15))
+    q_singletons = modularity(g, np.arange(g.n_vertices))
+    assert res.modularity >= q_singletons - 1e-12

@@ -1,0 +1,149 @@
+"""Tests for the move-selection heuristics (Section IV-C)."""
+
+import pytest
+
+from repro.core.heuristics import (
+    Candidate,
+    EnhancedHeuristic,
+    GreedyHeuristic,
+    HEURISTICS,
+    MinLabelHeuristic,
+    get_heuristic,
+)
+
+THETA = 1e-12
+
+
+def cand(label, gain, is_local=False, size=1):
+    return Candidate(label=label, gain=gain, is_local=is_local, size=size)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(HEURISTICS) == {"greedy", "minlabel", "enhanced"}
+
+    def test_get_heuristic(self):
+        assert isinstance(get_heuristic("greedy"), GreedyHeuristic)
+        assert isinstance(get_heuristic("minlabel"), MinLabelHeuristic)
+        assert isinstance(get_heuristic("enhanced"), EnhancedHeuristic)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            get_heuristic("magic")
+
+
+class TestSharedFiltering:
+    @pytest.mark.parametrize("name", ["greedy", "minlabel", "enhanced"])
+    def test_stays_without_improving_candidate(self, name):
+        h = get_heuristic(name)
+        # all gains below stay_gain
+        out = h.select(7, 1, 0.5, [cand(3, 0.4), cand(1, 0.2)], THETA)
+        assert out == 7
+
+    @pytest.mark.parametrize("name", ["greedy", "minlabel", "enhanced"])
+    def test_no_candidates(self, name):
+        assert get_heuristic(name).select(7, 1, 0.0, [], THETA) == 7
+
+    @pytest.mark.parametrize("name", ["greedy", "minlabel", "enhanced"])
+    def test_unique_max_local_moves(self, name):
+        h = get_heuristic(name)
+        out = h.select(7, 1, 0.0, [cand(2, 1.0, is_local=True, size=3)], THETA)
+        assert out == 2
+
+
+class TestGreedy:
+    def test_tie_breaks_to_smallest_label(self):
+        h = get_heuristic("greedy")
+        out = h.select(9, 1, 0.0, [cand(5, 1.0), cand(3, 1.0), cand(8, 0.5)], THETA)
+        assert out == 3
+
+    def test_no_veto_on_remote_singletons(self):
+        """The unsafe behaviour that causes bouncing (Fig. 3(a))."""
+        h = get_heuristic("greedy")
+        out = h.select(3, 1, 0.0, [cand(9, 1.0, is_local=False, size=1)], THETA)
+        assert out == 9  # moves to a HIGHER-labelled remote singleton
+
+
+class TestMinLabel:
+    def test_remote_higher_label_vetoed(self):
+        h = get_heuristic("minlabel")
+        out = h.select(3, 1, 0.0, [cand(9, 1.0, is_local=False, size=4)], THETA)
+        assert out == 3  # blocked: remote and 9 > 3
+
+    def test_remote_lower_label_allowed(self):
+        h = get_heuristic("minlabel")
+        out = h.select(9, 1, 0.0, [cand(3, 1.0, is_local=False, size=4)], THETA)
+        assert out == 3
+
+    def test_local_moves_ungated(self):
+        h = get_heuristic("minlabel")
+        out = h.select(3, 1, 0.0, [cand(9, 1.0, is_local=True, size=4)], THETA)
+        assert out == 9
+
+    def test_swap_scenario_resolves_one_way(self):
+        """Fig. 3(b): v_i(5) and v_j(9) adjacent singletons on different
+        ranks: only the move toward the smaller label survives."""
+        h = get_heuristic("minlabel")
+        # v_i in community 5 considering v_j's community 9 -> blocked
+        assert h.select(5, 1, 0.0, [cand(9, 1.0, size=1)], THETA) == 5
+        # v_j in community 9 considering v_i's community 5 -> allowed
+        assert h.select(9, 1, 0.0, [cand(5, 1.0, size=1)], THETA) == 5
+
+
+class TestEnhanced:
+    def test_prefers_local_on_ties(self):
+        """Fig. 4 case 1: all deltas equal -> local community wins."""
+        h = get_heuristic("enhanced")
+        tops = [
+            cand(1, 1.0, is_local=False, size=1),  # remote singleton, min label
+            cand(5, 1.0, is_local=True, size=2),  # local
+            cand(3, 1.0, is_local=False, size=4),  # remote multi
+        ]
+        assert h.select(9, 1, 0.0, tops, THETA) == 5
+
+    def test_prefers_remote_multi_over_singleton(self):
+        """Fig. 4 case 2: no local candidate -> multi-member ghost wins."""
+        h = get_heuristic("enhanced")
+        tops = [
+            cand(1, 1.0, is_local=False, size=1),
+            cand(3, 1.0, is_local=False, size=4),
+        ]
+        assert h.select(9, 1, 0.0, tops, THETA) == 3
+
+    def test_min_label_among_singletons(self):
+        """Fig. 4 case 3: only singleton ghosts -> smallest label."""
+        h = get_heuristic("enhanced")
+        tops = [
+            cand(4, 1.0, is_local=False, size=1),
+            cand(2, 1.0, is_local=False, size=1),
+        ]
+        assert h.select(9, 1, 0.0, tops, THETA) == 2
+
+    def test_singleton_gate_still_applies(self):
+        h = get_heuristic("enhanced")
+        # only candidate: remote singleton with higher label -> stay
+        assert h.select(3, 1, 0.0, [cand(9, 1.0, size=1)], THETA) == 3
+
+    def test_remote_multi_not_gated(self):
+        h = get_heuristic("enhanced")
+        assert h.select(3, 1, 0.0, [cand(9, 1.0, size=5)], THETA) == 9
+
+    def test_higher_gain_beats_preference(self):
+        """Preferences only apply among TIED candidates."""
+        h = get_heuristic("enhanced")
+        out = h.select(
+            9,
+            1,
+            0.0,
+            [cand(5, 1.0, is_local=True, size=2), cand(7, 2.0, size=6)],
+            THETA,
+        )
+        assert out == 7
+
+    def test_min_label_within_local_group(self):
+        h = get_heuristic("enhanced")
+        tops = [
+            cand(8, 1.0, is_local=True, size=2),
+            cand(4, 1.0, is_local=True, size=2),
+        ]
+        assert h.select(9, 1, 0.0, tops, THETA) == 4

@@ -1,0 +1,133 @@
+"""Tests for parallel local clustering (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import get_heuristic
+from repro.core.local_clustering import LocalClustering
+from repro.core.modularity import modularity
+from repro.partition import delegate_partition, oned_partition
+from repro.runtime import run_spmd
+
+
+def run_level(graph, p, partition_kind="delegate", d_high=None, heuristic="enhanced",
+              max_inner=50):
+    if partition_kind == "1d":
+        part = oned_partition(graph, p)
+    else:
+        part = delegate_partition(graph, p, d_high=d_high)
+
+    def worker(comm):
+        lc = LocalClustering(
+            comm, part.locals[comm.rank], get_heuristic(heuristic), max_inner=max_inner
+        )
+        outcome = lc.run()
+        return outcome
+
+    res = run_spmd(p, worker, timeout=60)
+    return part, res.results, res.stats
+
+
+def flat_assignment(part, outcomes):
+    """Assemble the global community labels from per-rank outcomes."""
+    n = part.locals[0].n_global
+    full = np.full(n, -1, dtype=np.int64)
+    for lg, out in zip(part.locals, outcomes):
+        owned = lg.global_ids[: lg.n_owned]
+        full[owned] = out.comm_of[: lg.n_owned]
+        full[lg.hub_global_ids] = out.comm_of[lg.n_owned : lg.n_rows]
+    assert not np.any(full < 0)
+    return full
+
+
+class TestAggregateSync:
+    def test_reported_q_is_exact(self, web_graph):
+        """The allreduced Q must equal an independent recomputation from
+        the assembled global assignment — validates the whole owner
+        aggregation protocol."""
+        part, outcomes, _ = run_level(web_graph, 4, d_high=40)
+        assignment = flat_assignment(part, outcomes)
+        assert np.isclose(
+            outcomes[0].q_final, modularity(web_graph, assignment)
+        )
+
+    def test_q_identical_on_all_ranks(self, web_graph):
+        _, outcomes, _ = run_level(web_graph, 4, d_high=40)
+        for out in outcomes[1:]:
+            assert out.q_history == outcomes[0].q_history
+
+    def test_hub_labels_identical_on_all_ranks(self, web_graph):
+        part, outcomes, _ = run_level(web_graph, 4, d_high=30)
+        assert part.hub_global_ids.size > 0
+        lg0 = part.locals[0]
+        hub_labels0 = outcomes[0].comm_of[lg0.n_owned : lg0.n_rows]
+        for lg, out in zip(part.locals[1:], [o for o in outcomes[1:]]):
+            assert np.array_equal(
+                out.comm_of[lg.n_owned : lg.n_rows], hub_labels0
+            )
+
+    def test_ghost_labels_match_owners(self, web_graph):
+        part, outcomes, _ = run_level(web_graph, 4, d_high=40)
+        assignment = flat_assignment(part, outcomes)
+        for lg, out in zip(part.locals, outcomes):
+            ghosts = lg.global_ids[lg.n_rows :]
+            assert np.array_equal(out.comm_of[lg.n_rows :], assignment[ghosts])
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("heuristic", ["enhanced", "minlabel"])
+    def test_converges_within_budget(self, web_graph, heuristic):
+        _, outcomes, _ = run_level(web_graph, 4, d_high=40, heuristic=heuristic)
+        assert outcomes[0].converged
+
+    def test_improves_over_singletons(self, web_graph):
+        _, outcomes, _ = run_level(web_graph, 4, d_high=40)
+        q0 = modularity(web_graph, np.arange(web_graph.n_vertices))
+        assert outcomes[0].q_final > q0 + 0.05
+
+    def test_single_rank_matches_sequential_one_level(self, karate):
+        """With p=1 and no hubs, Algorithm 2 is sequential Louvain's first
+        level (same sweep order, same gains)."""
+        from repro.core.sequential import louvain_one_level
+
+        part, outcomes, _ = run_level(karate, 1, d_high=10**9)
+        seq_assign, _ = louvain_one_level(karate)
+        par_assign = flat_assignment(part, outcomes)
+        from repro.graph.ops import relabel_communities
+
+        assert np.array_equal(
+            relabel_communities(par_assign), relabel_communities(seq_assign)
+        )
+
+    def test_bouncing_pair_resolved_by_gating(self):
+        """Two vertices joined by one edge, owned by different ranks: the
+        canonical Fig. 3 scenario must converge to one community."""
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        part, outcomes, _ = run_level(g, 2, d_high=10**9)
+        a = flat_assignment(part, outcomes)
+        assert a[0] == a[1]
+
+    def test_empty_rank_participates(self):
+        """More ranks than vertices: idle ranks must not deadlock."""
+        from repro.graph.generators import path_graph
+
+        part, outcomes, _ = run_level(path_graph(3), 5, d_high=10**9)
+        assert outcomes[0].converged
+
+
+class TestWorkAccounting:
+    def test_compute_proportional_to_edges(self, web_graph):
+        part, _, stats = run_level(web_graph, 4, d_high=40)
+        from repro.partition import edges_per_rank
+
+        edges = edges_per_rank(part)
+        compute = stats.compute_per_rank()
+        # each inner iteration scans each local entry once
+        assert np.all(compute >= edges)
+
+    def test_phases_tagged(self, web_graph):
+        _, _, stats = run_level(web_graph, 4, d_high=40)
+        phases = set(stats.phases())
+        assert {"find_best", "bcast_delegates", "swap_ghost", "other"} <= phases

@@ -1,0 +1,101 @@
+"""Hypothesis property tests: distributed merging == sequential coarsening.
+
+The master equivalence: for ANY graph, ANY assignment and ANY rank count /
+partitioning, Algorithm 3's distributed merge must produce exactly the
+graph that sequential coarsening produces.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coarsen import coarsen_graph
+from repro.core.merging import merge_level
+from repro.graph.csr import CSRGraph, build_symmetric_csr
+from repro.partition import delegate_partition, oned_partition
+from repro.runtime import run_spmd
+
+
+@st.composite
+def merge_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    m = draw(st.integers(min_value=0, max_value=40))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    k = draw(st.integers(min_value=1, max_value=n))
+    assignment = draw(
+        st.lists(st.integers(0, k - 1), min_size=n, max_size=n)
+    )
+    p = draw(st.integers(min_value=1, max_value=4))
+    use_delegates = draw(st.booleans())
+    d_high = draw(st.integers(min_value=1, max_value=8))
+    return (
+        CSRGraph.from_edges(n, edges),
+        np.asarray(assignment, dtype=np.int64),
+        p,
+        use_delegates,
+        d_high,
+    )
+
+
+def _distributed_merge(graph, assignment, p, use_delegates, d_high):
+    # labels must be representative vertex ids for the owner protocol
+    labels = np.empty_like(assignment)
+    for c in np.unique(assignment):
+        members = np.flatnonzero(assignment == c)
+        labels[members] = members.min()
+    part = (
+        delegate_partition(graph, p, d_high=d_high)
+        if use_delegates
+        else oned_partition(graph, p)
+    )
+
+    def worker(comm):
+        lg = part.locals[comm.rank]
+        comm_of = labels[lg.global_ids]
+        return merge_level(comm, lg, comm_of)
+
+    results = run_spmd(p, worker, timeout=30).results
+    k = results[0][0].n_global
+    src, dst, w = [], [], []
+    for new_lg, _, _ in results:
+        rows = np.repeat(
+            new_lg.global_ids[np.arange(new_lg.n_rows)], np.diff(new_lg.indptr)
+        )
+        cols = new_lg.global_ids[new_lg.indices]
+        for u, v, ww in zip(rows, cols, new_lg.weights):
+            if u <= v:
+                src.append(u)
+                dst.append(v)
+                w.append(ww)
+    coarse = build_symmetric_csr(k, np.array(src or [0])[: len(src)],
+                                 np.array(dst or [0])[: len(dst)],
+                                 np.array(w or [0.0])[: len(w)])
+    if not src:
+        coarse = build_symmetric_csr(
+            k, np.zeros(0, np.int64), np.zeros(0, np.int64)
+        )
+    return coarse, labels
+
+
+@given(merge_cases())
+@settings(max_examples=60, deadline=None)
+def test_distributed_merge_equals_sequential_coarsen(case):
+    graph, assignment, p, use_delegates, d_high = case
+    got, labels = _distributed_merge(graph, assignment, p, use_delegates, d_high)
+    expected, _ = coarsen_graph(graph, labels)
+    assert got.n_vertices == expected.n_vertices
+    assert got == expected
+
+
+@given(merge_cases())
+@settings(max_examples=40, deadline=None)
+def test_merge_preserves_total_weight(case):
+    graph, assignment, p, use_delegates, d_high = case
+    got, _ = _distributed_merge(graph, assignment, p, use_delegates, d_high)
+    assert np.isclose(got.total_weight, graph.total_weight)

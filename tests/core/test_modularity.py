@@ -1,0 +1,135 @@
+"""Tests for modularity (Eqs. 2-4) — validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.modularity import (
+    community_aggregates,
+    modularity,
+    modularity_gain,
+    neighbor_community_weights,
+)
+from repro.graph.csr import CSRGraph
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_assignments_on_karate(self, karate, seed):
+        nxg = nx.karate_club_graph()
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 5, karate.n_vertices)
+        comms = [
+            set(np.flatnonzero(a == c).tolist())
+            for c in range(5)
+            if np.any(a == c)
+        ]
+        assert np.isclose(
+            modularity(karate, a),
+            nx.community.modularity(nxg, comms, weight=None),
+        )
+
+    def test_weighted_graph(self):
+        nxg = nx.Graph()
+        nxg.add_weighted_edges_from(
+            [(0, 1, 2.0), (1, 2, 0.5), (2, 3, 4.0), (3, 0, 1.0)]
+        )
+        g = CSRGraph.from_networkx(nxg)
+        a = np.array([0, 0, 1, 1])
+        expected = nx.community.modularity(
+            nxg, [{0, 1}, {2, 3}], weight="weight"
+        )
+        assert np.isclose(modularity(g, a), expected)
+
+    def test_self_loops(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([(0, 1), (1, 2), (2, 0), (3, 4)])
+        nxg.add_edge(1, 1, weight=2.0)
+        nxg.add_edge(3, 3)
+        g = CSRGraph.from_networkx(nxg)
+        a = np.array([0, 0, 0, 1, 1])
+        expected = nx.community.modularity(nxg, [{0, 1, 2}, {3, 4}])
+        assert np.isclose(modularity(g, a), expected)
+
+
+class TestKnownValues:
+    def test_all_singletons(self, triangles):
+        # Q = -sum (k_i / 2m)^2 for singletons on a loopless graph
+        q = modularity(triangles, np.arange(6))
+        wdeg = triangles.weighted_degrees
+        expected = -np.sum((wdeg / (2 * triangles.total_weight)) ** 2)
+        assert np.isclose(q, expected)
+
+    def test_one_community_is_zero(self, karate):
+        assert np.isclose(modularity(karate, np.zeros(34, dtype=np.int64)), 0.0)
+
+    def test_two_triangles_optimal(self, triangles):
+        q = modularity(triangles, np.array([0, 0, 0, 1, 1, 1]))
+        # m = 7; sigma_in = 6 each; sigma_tot = 7 each
+        expected = 2 * (6 / 14 - (7 / 14) ** 2)
+        assert np.isclose(q, expected)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [])
+        assert modularity(g, np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_bounds(self, karate, web_graph):
+        rng = np.random.default_rng(0)
+        for g in (karate, web_graph):
+            for k in (1, 2, 10):
+                a = rng.integers(0, k, g.n_vertices)
+                q = modularity(g, a)
+                assert -0.5 <= q <= 1.0
+
+
+class TestAggregates:
+    def test_sigma_tot_sums_to_2m(self, karate):
+        a = np.arange(34) % 3
+        _, sigma_tot = community_aggregates(karate, a)
+        assert np.isclose(sum(sigma_tot.values()), 2 * karate.total_weight)
+
+    def test_sigma_in_all_edges_internal(self, karate):
+        sigma_in, _ = community_aggregates(karate, np.zeros(34, dtype=np.int64))
+        assert np.isclose(sigma_in[0], 2 * karate.total_weight)
+
+    def test_bad_shape_rejected(self, karate):
+        with pytest.raises(ValueError):
+            community_aggregates(karate, np.zeros(3, dtype=np.int64))
+
+
+class TestModularityGain:
+    def test_gain_matches_q_difference(self, karate):
+        """Eq. 4 must equal the actual Q difference of the move."""
+        m = karate.total_weight
+        a = (np.arange(34) % 4).astype(np.int64)
+        for u in (0, 5, 33):
+            # isolate u
+            iso = a.copy()
+            iso[u] = 99
+            q_iso = modularity(karate, iso)
+            for c in range(4):
+                moved = iso.copy()
+                moved[u] = c
+                _, sigma_tot = community_aggregates(karate, iso)
+                w_uc = neighbor_community_weights(karate, iso, u).get(c, 0.0)
+                gain = modularity_gain(
+                    w_uc, sigma_tot.get(c, 0.0), karate.weighted_degrees[u], m
+                )
+                actual = modularity(karate, moved) - q_iso
+                assert np.isclose(gain, actual, atol=1e-12), (u, c)
+
+    def test_zero_m(self):
+        assert modularity_gain(1.0, 1.0, 1.0, 0.0) == 0.0
+
+
+class TestNeighborCommunityWeights:
+    def test_self_loop_excluded(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (0, 2)], weights=[5.0, 1.0, 2.0])
+        a = np.array([0, 1, 1])
+        w = neighbor_community_weights(g, a, 0)
+        assert w == {1: 3.0}
+
+    def test_aggregation(self, karate):
+        a = np.zeros(34, dtype=np.int64)
+        w = neighbor_community_weights(karate, a, 0)
+        assert w == {0: float(karate.degrees[0])}

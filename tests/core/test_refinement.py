@@ -1,0 +1,90 @@
+"""Tests for disconnected-community refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistributedConfig, distributed_louvain
+from repro.core.modularity import modularity
+from repro.core.refinement import (
+    count_disconnected_communities,
+    split_disconnected_communities,
+)
+from repro.graph.csr import CSRGraph
+
+
+class TestSplit:
+    def test_connected_communities_untouched(self, triangles):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        refined = split_disconnected_communities(triangles, a)
+        from repro.graph.ops import relabel_communities
+
+        assert np.array_equal(refined, relabel_communities(a))
+
+    def test_disconnected_community_split(self):
+        # two disjoint edges forced into one community
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        a = np.zeros(4, dtype=np.int64)
+        refined = split_disconnected_communities(g, a)
+        assert refined[0] == refined[1]
+        assert refined[2] == refined[3]
+        assert refined[0] != refined[2]
+
+    def test_split_improves_q(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        a = np.zeros(4, dtype=np.int64)
+        refined = split_disconnected_communities(g, a)
+        assert modularity(g, refined) > modularity(g, a)
+
+    def test_isolated_vertices_become_singletons(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        a = np.zeros(3, dtype=np.int64)
+        refined = split_disconnected_communities(g, a)
+        assert refined[2] not in (refined[0], refined[1])
+
+    def test_count(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        a = np.array([0, 0, 0, 0, 1, 1])
+        assert count_disconnected_communities(g, a) == 1
+        good = np.array([0, 0, 1, 1, 2, 2])
+        assert count_disconnected_communities(g, good) == 0
+
+    def test_shape_check(self, karate):
+        with pytest.raises(ValueError):
+            split_disconnected_communities(karate, np.zeros(3, dtype=np.int64))
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_refinement_never_decreases_q(seed, k):
+    from tests.conftest import random_graph
+
+    g = random_graph(seed, n=40, p_edge=0.06)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, k, 40)
+    refined = split_disconnected_communities(g, a)
+    assert modularity(g, refined) >= modularity(g, a) - 1e-12
+    # and the result has no disconnected communities left
+    assert count_disconnected_communities(g, refined) == 0
+
+
+class TestDistributedIntegration:
+    def test_refine_flag(self, web_graph):
+        plain = distributed_louvain(web_graph, 4, DistributedConfig(d_high=40))
+        refined = distributed_louvain(
+            web_graph, 4, DistributedConfig(d_high=40, refine=True)
+        )
+        assert refined.modularity >= plain.modularity - 1e-12
+        assert np.isclose(
+            refined.modularity, modularity(web_graph, refined.assignment)
+        )
+        assert (
+            count_disconnected_communities(web_graph, refined.assignment) == 0
+        )
+
+    def test_refined_dendrogram_consistent(self, web_graph):
+        res = distributed_louvain(
+            web_graph, 4, DistributedConfig(d_high=40, refine=True)
+        )
+        assert np.array_equal(res.dendrogram().final(), res.assignment)

@@ -1,0 +1,93 @@
+"""Tests for the resolution (Reichardt–Bornholdt gamma) parameter."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedConfig, distributed_louvain, sequential_louvain
+from repro.core.modularity import (
+    community_aggregates,
+    modularity,
+    modularity_gain,
+    neighbor_community_weights,
+)
+from repro.graph.generators import lfr_graph, ring_of_cliques
+
+
+class TestModularityResolution:
+    def test_gamma_one_is_default(self, karate):
+        a = (np.arange(34) % 4).astype(np.int64)
+        assert modularity(karate, a) == modularity(karate, a, resolution=1.0)
+
+    def test_q_decreases_with_gamma(self, karate):
+        a = (np.arange(34) % 4).astype(np.int64)
+        qs = [modularity(karate, a, resolution=g) for g in (0.5, 1.0, 2.0)]
+        assert qs[0] > qs[1] > qs[2]
+
+    def test_gain_matches_q_difference_at_any_gamma(self, karate):
+        m = karate.total_weight
+        for gamma in (0.5, 1.0, 2.5):
+            a = (np.arange(34) % 4).astype(np.int64)
+            u = 0
+            iso = a.copy()
+            iso[u] = 99
+            q_iso = modularity(karate, iso, resolution=gamma)
+            _, sigma_tot = community_aggregates(karate, iso)
+            for c in range(4):
+                moved = iso.copy()
+                moved[u] = c
+                w_uc = neighbor_community_weights(karate, iso, u).get(c, 0.0)
+                gain = modularity_gain(
+                    w_uc,
+                    sigma_tot.get(c, 0.0),
+                    karate.weighted_degrees[u],
+                    m,
+                    resolution=gamma,
+                )
+                actual = modularity(karate, moved, resolution=gamma) - q_iso
+                assert np.isclose(gain, actual, atol=1e-12), (gamma, c)
+
+
+class TestSequentialResolution:
+    def test_high_gamma_more_communities(self):
+        bench = lfr_graph(600, mu=0.15, seed=5)
+        lo = sequential_louvain(bench.graph, resolution=0.3)
+        hi = sequential_louvain(bench.graph, resolution=3.0)
+        assert len(set(hi.assignment.tolist())) > len(set(lo.assignment.tolist()))
+
+    def test_reported_q_matches_gamma(self):
+        g = ring_of_cliques(5, 4)
+        for gamma in (0.5, 2.0):
+            res = sequential_louvain(g, resolution=gamma)
+            assert np.isclose(
+                res.modularity, modularity(g, res.assignment, resolution=gamma)
+            )
+
+
+class TestDistributedResolution:
+    @pytest.mark.parametrize("gamma", [0.5, 1.0, 2.0])
+    def test_self_consistent_at_any_gamma(self, web_graph, gamma):
+        res = distributed_louvain(
+            web_graph, 4, DistributedConfig(d_high=40, resolution=gamma)
+        )
+        assert np.isclose(
+            res.modularity, modularity(web_graph, res.assignment, resolution=gamma)
+        )
+
+    def test_gamma_controls_granularity(self):
+        bench = lfr_graph(600, mu=0.15, seed=6)
+        lo = distributed_louvain(
+            bench.graph, 4, DistributedConfig(d_high=64, resolution=0.3)
+        )
+        hi = distributed_louvain(
+            bench.graph, 4, DistributedConfig(d_high=64, resolution=3.0)
+        )
+        assert hi.n_communities > lo.n_communities
+
+    def test_matches_sequential_at_gamma(self):
+        bench = lfr_graph(500, mu=0.1, seed=7)
+        for gamma in (0.5, 2.0):
+            seq = sequential_louvain(bench.graph, resolution=gamma)
+            dist = distributed_louvain(
+                bench.graph, 4, DistributedConfig(d_high=64, resolution=gamma)
+            )
+            assert dist.modularity > seq.modularity - 0.05

@@ -1,0 +1,130 @@
+"""Tests for the sequential Louvain baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import sequential_louvain
+from repro.core.modularity import modularity
+from repro.core.sequential import louvain_one_level
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    karate_club,
+    lfr_graph,
+    ring_of_cliques,
+    two_triangles_bridge,
+)
+from repro.graph.ops import relabel_communities
+
+
+class TestKnownResults:
+    def test_karate_quality(self, karate):
+        res = sequential_louvain(karate)
+        assert res.modularity > 0.40  # published optimum is ~0.4198
+        assert 2 <= len(set(res.assignment.tolist())) <= 6
+
+    def test_ring_of_cliques_exact(self):
+        g = ring_of_cliques(8, 5)
+        res = sequential_louvain(g)
+        expected = np.repeat(np.arange(8), 5)
+        assert np.array_equal(
+            relabel_communities(res.assignment), relabel_communities(expected)
+        )
+
+    def test_two_triangles_exact(self, triangles):
+        res = sequential_louvain(triangles)
+        a = relabel_communities(res.assignment)
+        assert np.array_equal(a, np.array([0, 0, 0, 1, 1, 1]))
+
+    def test_complete_graph_single_community(self):
+        res = sequential_louvain(complete_graph(10))
+        assert len(set(res.assignment.tolist())) == 1
+
+    def test_lfr_recovers_ground_truth(self, lfr_small):
+        from repro.quality import normalized_mutual_information
+
+        res = sequential_louvain(lfr_small.graph)
+        assert (
+            normalized_mutual_information(res.assignment, lfr_small.ground_truth)
+            > 0.85
+        )
+
+
+class TestInvariants:
+    def test_reported_q_matches_assignment(self, karate, web_graph, ba_graph):
+        for g in (karate, web_graph, ba_graph):
+            res = sequential_louvain(g)
+            assert np.isclose(res.modularity, modularity(g, res.assignment))
+
+    def test_q_monotone_across_levels(self, web_graph):
+        res = sequential_louvain(web_graph)
+        qs = res.modularity_per_level
+        assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_q_monotone_within_sweeps(self, karate):
+        res = sequential_louvain(karate)
+        qs = res.modularity_per_iteration
+        # sequential Gauss-Seidel sweeps never decrease Q
+        assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_deterministic(self, web_graph):
+        a = sequential_louvain(web_graph)
+        b = sequential_louvain(web_graph)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert a.modularity == b.modularity
+
+    def test_assignment_covers_all_vertices(self, karate):
+        res = sequential_louvain(karate)
+        assert res.assignment.shape == (34,)
+        assert np.all(res.assignment >= 0)
+
+    def test_levels_compose_to_assignment(self, karate):
+        res = sequential_louvain(karate)
+        flat = res.levels[0]
+        for mapping in res.levels[1:]:
+            flat = mapping[flat]
+        assert np.array_equal(flat, res.assignment)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        res = sequential_louvain(CSRGraph.from_edges(4, []))
+        assert res.modularity == 0.0
+        assert res.assignment.shape == (4,)
+
+    def test_single_edge(self):
+        res = sequential_louvain(CSRGraph.from_edges(2, [(0, 1)]))
+        assert res.assignment[0] == res.assignment[1]
+
+    def test_disconnected_components_stay_separate(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        res = sequential_louvain(g)
+        assert res.assignment[0] == res.assignment[2]
+        assert res.assignment[3] == res.assignment[5]
+        assert res.assignment[0] != res.assignment[3]
+
+    def test_self_loops_tolerated(self):
+        g = CSRGraph.from_edges(4, [(0, 0), (0, 1), (2, 3)], weights=[3.0, 1.0, 1.0])
+        res = sequential_louvain(g)
+        assert np.isclose(res.modularity, modularity(g, res.assignment))
+
+    def test_weighted_graph_prefers_heavy_edges(self):
+        # square with two heavy opposite edges: communities follow weight
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0)], weights=[10.0, 0.1, 10.0, 0.1]
+        )
+        res = sequential_louvain(g)
+        assert res.assignment[0] == res.assignment[1]
+        assert res.assignment[2] == res.assignment[3]
+        assert res.assignment[0] != res.assignment[2]
+
+
+class TestOneLevel:
+    def test_sweep_callback_called(self, karate):
+        seen = []
+        louvain_one_level(karate, on_sweep_end=lambda a: seen.append(a.copy()))
+        assert len(seen) >= 1
+
+    def test_max_sweeps_respected(self, karate):
+        _, sweeps = louvain_one_level(karate, max_sweeps=1)
+        assert sweeps == 1

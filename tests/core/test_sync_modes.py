@@ -1,0 +1,131 @@
+"""Tests for the community-state synchronisation modes (full vs delta)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedConfig, distributed_louvain, sequential_louvain
+from repro.core.modularity import modularity
+from repro.graph.generators import lfr_graph
+
+
+class TestDeltaSync:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_self_consistent(self, web_graph, p):
+        res = distributed_louvain(
+            web_graph, p, DistributedConfig(d_high=40, sync_mode="delta")
+        )
+        assert np.isclose(res.modularity, modularity(web_graph, res.assignment))
+
+    def test_quality_matches_full_mode(self, lfr_small):
+        full = distributed_louvain(
+            lfr_small.graph, 4, DistributedConfig(d_high=64, sync_mode="full")
+        )
+        delta = distributed_louvain(
+            lfr_small.graph, 4, DistributedConfig(d_high=64, sync_mode="delta")
+        )
+        # trajectories may diverge through float-accumulation tie-breaks,
+        # but the achieved quality must be equivalent
+        assert abs(full.modularity - delta.modularity) < 0.02
+
+    def test_delta_with_delegates(self, web_graph):
+        res = distributed_louvain(
+            web_graph, 4, DistributedConfig(d_high=20, sync_mode="delta")
+        )
+        assert res.partition.hub_global_ids.size > 0
+        assert np.isclose(res.modularity, modularity(web_graph, res.assignment))
+
+    def test_delta_with_all_heuristics(self, web_graph):
+        for heur in ("greedy", "minlabel", "enhanced"):
+            res = distributed_louvain(
+                web_graph,
+                4,
+                DistributedConfig(
+                    d_high=40, sync_mode="delta", heuristic=heur, max_inner=20
+                ),
+            )
+            assert np.isclose(
+                res.modularity, modularity(web_graph, res.assignment)
+            ), heur
+
+    def test_single_rank(self, karate):
+        res = distributed_louvain(
+            karate, 1, DistributedConfig(d_high=40, sync_mode="delta")
+        )
+        assert np.isclose(res.modularity, modularity(karate, res.assignment))
+
+    def test_deterministic(self, web_graph):
+        cfg = DistributedConfig(d_high=40, sync_mode="delta")
+        a = distributed_louvain(web_graph, 4, cfg)
+        b = distributed_louvain(web_graph, 4, cfg)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_invalid_mode_rejected(self, karate):
+        from repro.core.heuristics import get_heuristic
+        from repro.core.local_clustering import LocalClustering
+        from repro.partition import oned_partition
+        from repro.runtime import run_spmd
+
+        part = oned_partition(karate, 1)
+
+        def worker(comm):
+            LocalClustering(
+                comm, part.locals[0], get_heuristic("enhanced"), sync_mode="bogus"
+            )
+
+        from repro.runtime import SPMDError
+
+        with pytest.raises(SPMDError):
+            run_spmd(1, worker, timeout=5)
+
+    def test_ghost_delta_bit_identical(self, web_graph):
+        """Delta ghost exchange is pure compression: results must be
+        EXACTLY the full protocol's."""
+        a = distributed_louvain(web_graph, 4, DistributedConfig(d_high=40))
+        b = distributed_louvain(
+            web_graph, 4, DistributedConfig(d_high=40, ghost_mode="delta")
+        )
+        assert np.array_equal(a.assignment, b.assignment)
+        assert a.modularity == b.modularity
+
+    def test_ghost_delta_reduces_traffic(self):
+        bench = lfr_graph(800, mu=0.15, seed=23)
+        a = distributed_louvain(bench.graph, 8, DistributedConfig(d_high=64))
+        b = distributed_louvain(
+            bench.graph, 8, DistributedConfig(d_high=64, ghost_mode="delta")
+        )
+        assert (
+            b.stats.bytes_sent_per_rank().sum()
+            < a.stats.bytes_sent_per_rank().sum()
+        )
+
+    def test_ghost_delta_with_hubs_and_delta_sync(self, web_graph):
+        res = distributed_louvain(
+            web_graph,
+            4,
+            DistributedConfig(d_high=20, sync_mode="delta", ghost_mode="delta"),
+        )
+        assert np.isclose(res.modularity, modularity(web_graph, res.assignment))
+
+    def test_invalid_ghost_mode_rejected(self, karate):
+        from repro.core.heuristics import get_heuristic
+        from repro.core.local_clustering import LocalClustering
+        from repro.partition import oned_partition
+        from repro.runtime import SPMDError, run_spmd
+
+        part = oned_partition(karate, 1)
+
+        def worker(comm):
+            LocalClustering(
+                comm, part.locals[0], get_heuristic("enhanced"), ghost_mode="zip"
+            )
+
+        with pytest.raises(SPMDError):
+            run_spmd(1, worker, timeout=5)
+
+    def test_near_sequential_quality(self):
+        bench = lfr_graph(800, mu=0.15, seed=17)
+        seq = sequential_louvain(bench.graph)
+        res = distributed_louvain(
+            bench.graph, 8, DistributedConfig(d_high=64, sync_mode="delta")
+        )
+        assert res.modularity > seq.modularity - 0.05

@@ -1,0 +1,88 @@
+"""Hypothesis property tests for directed graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.directed import coarsen_directed, directed_modularity
+from repro.graph.directed import DirectedCSRGraph
+
+
+@st.composite
+def directed_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    m = draw(st.integers(min_value=0, max_value=60))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return DirectedCSRGraph.from_edges(n, edges, weights=weights)
+
+
+@given(directed_graphs())
+@settings(max_examples=100, deadline=None)
+def test_degree_sums_equal_total_weight(g):
+    assert np.isclose(g.out_degrees.sum(), g.total_weight)
+    assert np.isclose(g.in_degrees.sum(), g.total_weight)
+
+
+@given(directed_graphs())
+@settings(max_examples=80, deadline=None)
+def test_reverse_involution(g):
+    r = g.reverse()
+    assert np.allclose(r.out_degrees, g.in_degrees)
+    assert np.allclose(r.in_degrees, g.out_degrees)
+    assert r.reverse() == g
+
+
+@given(directed_graphs())
+@settings(max_examples=80, deadline=None)
+def test_symmetrize_conserves_weight(g):
+    s = g.symmetrize()
+    assert np.isclose(s.total_weight, g.total_weight)
+    s.validate()
+
+
+@given(directed_graphs(), st.integers(1, 5), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_directed_coarsen_q_invariance(g, k, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, k, g.n_vertices)
+    coarse, dense = coarsen_directed(g, a)
+    assert np.isclose(coarse.total_weight, g.total_weight)
+    assert np.isclose(
+        directed_modularity(g, a),
+        directed_modularity(coarse, np.arange(coarse.n_vertices)),
+        atol=1e-10,
+    )
+
+
+@given(directed_graphs())
+@settings(max_examples=60, deadline=None)
+def test_directed_modularity_bounds(g):
+    # one community: Q = 1 - sum(kout*kin)/m^2 ... but always within [-1, 1]
+    for a in (np.zeros(g.n_vertices, dtype=np.int64), np.arange(g.n_vertices)):
+        q = directed_modularity(g, a)
+        assert -1.0 - 1e-9 <= q <= 1.0 + 1e-9
+
+
+@given(directed_graphs())
+@settings(max_examples=50, deadline=None)
+def test_reversal_preserves_directed_modularity(g):
+    """Q_dir(G, a) == Q_dir(G^T, a): the objective is direction-symmetric
+    under transposition."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 3, g.n_vertices)
+    assert np.isclose(
+        directed_modularity(g, a), directed_modularity(g.reverse(), a)
+    )

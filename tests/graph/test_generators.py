@@ -1,0 +1,189 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu_graph,
+    complete_graph,
+    copying_web_graph,
+    karate_club,
+    path_graph,
+    planted_partition,
+    powerlaw_degrees,
+    ring_of_cliques,
+    rmat_graph,
+    star_graph,
+    two_triangles_bridge,
+)
+from repro.graph.ops import connected_components
+
+
+class TestSimpleGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.n_edges == 4
+        assert g.degrees[0] == 1 and g.degrees[2] == 2
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.n_edges == 15
+        assert np.all(g.degrees == 5)
+
+    def test_star(self):
+        g = star_graph(9)
+        assert g.degrees[0] == 9
+        assert np.all(g.degrees[1:] == 1)
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 3)
+        assert g.n_vertices == 12
+        # 4 * C(3,2) internal + 4 bridges
+        assert g.n_edges == 4 * 3 + 4
+        assert set(connected_components(g).tolist()) == {0}
+
+    def test_two_triangles(self):
+        g = two_triangles_bridge()
+        assert g.n_vertices == 6
+        assert g.n_edges == 7
+
+    def test_karate_well_known_stats(self):
+        g = karate_club()
+        assert g.n_vertices == 34
+        assert g.n_edges == 78
+        assert g.degrees[0] == 16
+        assert g.degrees[33] == 17
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            ring_of_cliques(1, 3)
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(200, 3, seed=0)
+        assert g.n_vertices == 200
+        # seed clique C(4,2)=6 edges + 196 arrivals * 3
+        assert g.n_edges == 6 + 196 * 3
+
+    def test_min_degree(self):
+        g = barabasi_albert(200, 3, seed=1)
+        assert g.degrees.min() >= 3
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(1000, 2, seed=2)
+        assert g.degrees.max() > 20  # heavy tail
+
+    def test_deterministic(self):
+        assert barabasi_albert(100, 2, seed=7) == barabasi_albert(100, 2, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert barabasi_albert(100, 2, seed=7) != barabasi_albert(100, 2, seed=8)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+
+class TestRMAT:
+    def test_vertex_count(self):
+        g = rmat_graph(8, 4, seed=0)
+        assert g.n_vertices == 256
+
+    def test_no_self_loops(self):
+        g = rmat_graph(8, 4, seed=1)
+        rows = np.repeat(np.arange(g.n_vertices), np.diff(g.indptr))
+        assert not np.any(rows == g.indices)
+
+    def test_unweighted(self):
+        g = rmat_graph(7, 4, seed=2)
+        assert np.all(g.weights == 1.0)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, 8, seed=3)
+        assert g.degrees.max() > 10 * g.degrees[g.degrees > 0].mean()
+
+    def test_deterministic(self):
+        assert rmat_graph(7, 4, seed=5) == rmat_graph(7, 4, seed=5)
+
+    def test_bad_probs(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, 4, probs=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+
+
+class TestCopyingWebGraph:
+    def test_size_and_validity(self):
+        g = copying_web_graph(500, 4, seed=0)
+        assert g.n_vertices == 500
+        g.validate()
+
+    def test_heavier_tail_with_higher_copy_prob(self):
+        lo = copying_web_graph(1500, 5, copy_prob=0.2, seed=1)
+        hi = copying_web_graph(1500, 5, copy_prob=0.9, seed=1)
+        assert hi.degrees.max() > lo.degrees.max()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            copying_web_graph(5, 8)
+        with pytest.raises(ValueError):
+            copying_web_graph(100, 4, copy_prob=1.5)
+
+
+class TestChungLu:
+    def test_expected_degrees_roughly_met(self):
+        rng = np.random.default_rng(0)
+        target = np.full(500, 8.0)
+        g = chung_lu_graph(target, seed=1)
+        assert abs(g.degrees.mean() - 8.0) < 1.5
+
+    def test_zero_weights_ok(self):
+        g = chung_lu_graph(np.array([0.0, 0.0, 5.0, 5.0]), seed=2)
+        g.validate()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chung_lu_graph(np.array([1.0]))
+        with pytest.raises(ValueError):
+            chung_lu_graph(np.array([-1.0, 2.0]))
+
+
+class TestPlantedPartition:
+    def test_ground_truth_shape(self):
+        g, labels = planted_partition(4, 10, 0.6, 0.05, seed=0)
+        assert g.n_vertices == 40
+        assert labels.shape == (40,)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_assortative(self):
+        g, labels = planted_partition(4, 20, 0.5, 0.02, seed=1)
+        src, dst, _ = g.edge_arrays()
+        internal = (labels[src] == labels[dst]).mean()
+        assert internal > 0.7
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            planted_partition(2, 5, 0.1, 0.5)
+
+
+class TestPowerlawDegrees:
+    def test_bounds_and_even_sum(self):
+        rng = np.random.default_rng(0)
+        deg = powerlaw_degrees(rng, 301, 2.5, 3, 50)
+        assert deg.min() >= 3
+        assert deg.max() <= 50
+        assert deg.sum() % 2 == 0
+
+    def test_exponent_controls_tail(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        flat = powerlaw_degrees(rng1, 2000, 2.0, 2, 100)
+        steep = powerlaw_degrees(rng2, 2000, 3.5, 2, 100)
+        assert flat.mean() > steep.mean()

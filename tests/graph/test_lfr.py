@@ -1,0 +1,78 @@
+"""Tests for the LFR benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import lfr_graph
+
+
+class TestLFRStructure:
+    def test_basic_validity(self):
+        res = lfr_graph(400, mu=0.1, seed=0)
+        res.graph.validate()
+        assert res.graph.n_vertices == 400
+        assert res.ground_truth.shape == (400,)
+
+    def test_every_vertex_assigned(self):
+        res = lfr_graph(300, mu=0.2, seed=1)
+        assert np.all(res.ground_truth >= 0)
+
+    def test_community_count_reasonable(self):
+        res = lfr_graph(600, mu=0.1, seed=2)
+        k = len(set(res.ground_truth.tolist()))
+        assert 2 <= k <= 600 // 8 + 1
+
+    def test_deterministic(self):
+        a = lfr_graph(300, mu=0.15, seed=9)
+        b = lfr_graph(300, mu=0.15, seed=9)
+        assert a.graph == b.graph
+        assert np.array_equal(a.ground_truth, b.ground_truth)
+
+
+class TestMixing:
+    @pytest.mark.parametrize("mu", [0.05, 0.2, 0.4])
+    def test_realised_mixing_tracks_request(self, mu):
+        res = lfr_graph(1200, mu=mu, seed=3)
+        assert abs(res.mixing_realised - mu) < 0.12
+
+    def test_mixing_monotone(self):
+        lo = lfr_graph(800, mu=0.05, seed=4)
+        hi = lfr_graph(800, mu=0.45, seed=4)
+        assert lo.mixing_realised < hi.mixing_realised
+
+    def test_mixing_stored_matches_graph(self):
+        res = lfr_graph(500, mu=0.3, seed=5)
+        src, dst, _ = res.graph.edge_arrays()
+        cross = (res.ground_truth[src] != res.ground_truth[dst]).mean()
+        assert np.isclose(cross, res.mixing_realised)
+
+
+class TestLFRValidation:
+    def test_mu_out_of_range(self):
+        with pytest.raises(ValueError):
+            lfr_graph(100, mu=1.0)
+        with pytest.raises(ValueError):
+            lfr_graph(100, mu=-0.1)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            lfr_graph(4)
+
+    def test_degree_bounds_respected(self):
+        res = lfr_graph(500, mu=0.1, min_degree=5, max_degree=20, seed=6)
+        # configuration-model simplification may drop a few stubs, but the
+        # max must hold and the bulk of minimum degrees too
+        assert res.graph.degrees.max() <= 20
+        assert np.percentile(res.graph.degrees, 10) >= 3
+
+
+class TestLFRQualityForDetection:
+    def test_crisp_communities_recoverable(self):
+        """At mu=0.05 sequential Louvain must recover communities well."""
+        from repro.core import sequential_louvain
+        from repro.quality import normalized_mutual_information
+
+        res = lfr_graph(500, mu=0.05, seed=7)
+        detected = sequential_louvain(res.graph)
+        nmi = normalized_mutual_information(detected.assignment, res.ground_truth)
+        assert nmi > 0.85

@@ -1,0 +1,112 @@
+"""Tests for graph structural operations."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import path_graph, ring_of_cliques
+from repro.graph.ops import (
+    connected_components,
+    degree_histogram,
+    induced_subgraph,
+    largest_component,
+    permute_vertices,
+    relabel_communities,
+)
+
+
+class TestDegreeHistogram:
+    def test_path(self):
+        h = degree_histogram(path_graph(5))
+        assert list(h) == [0, 2, 3]
+
+    def test_empty(self):
+        h = degree_histogram(CSRGraph.from_edges(3, []))
+        assert h[0] == 3
+
+
+class TestPermute:
+    def test_identity(self, karate):
+        pg = permute_vertices(karate, np.arange(34))
+        assert pg == karate
+
+    def test_invalid_permutation_rejected(self, karate):
+        with pytest.raises(ValueError):
+            permute_vertices(karate, np.zeros(34, dtype=np.int64))
+        with pytest.raises(ValueError):
+            permute_vertices(karate, np.arange(33))
+
+    def test_edges_follow_permutation(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        pg = permute_vertices(g, np.array([2, 0, 1]))
+        assert pg.has_edge(2, 0)
+        assert not pg.has_edge(0, 1)
+
+
+class TestSubgraph:
+    def test_induced_keeps_internal_edges(self, karate):
+        sub, verts = induced_subgraph(karate, np.array([0, 1, 2, 3]))
+        assert sub.n_vertices == 4
+        # 0-1, 0-2, 0-3, 1-2, 1-3, 2-3 all exist in karate
+        assert sub.n_edges == 6
+
+    def test_induced_drops_external_edges(self):
+        g = path_graph(4)
+        sub, _ = induced_subgraph(g, np.array([0, 2]))
+        assert sub.n_edges == 0
+
+    def test_out_of_range_rejected(self, karate):
+        with pytest.raises(ValueError):
+            induced_subgraph(karate, np.array([40]))
+
+    def test_duplicate_vertices_deduped(self):
+        g = path_graph(3)
+        sub, verts = induced_subgraph(g, np.array([1, 1, 2]))
+        assert sub.n_vertices == 2
+        assert list(verts) == [1, 2]
+
+
+class TestComponents:
+    def test_single_component(self, karate):
+        labels = connected_components(karate)
+        assert set(labels.tolist()) == {0}
+
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_largest_component(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        sub, verts = largest_component(g)
+        assert list(verts) == [0, 1, 2]
+        assert sub.n_edges == 2
+
+    def test_deep_path_no_recursion_error(self):
+        g = path_graph(5000)
+        labels = connected_components(g)
+        assert set(labels.tolist()) == {0}
+
+
+class TestRelabel:
+    def test_first_appearance_order(self):
+        assert list(relabel_communities(np.array([7, 7, 3, 9, 3]))) == [0, 0, 1, 2, 1]
+
+    def test_already_dense(self):
+        a = np.array([0, 1, 2, 1])
+        assert list(relabel_communities(a)) == [0, 1, 2, 1]
+
+    def test_empty(self):
+        assert relabel_communities(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_preserves_partition(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(-50, 50, size=200)
+        b = relabel_communities(a)
+        # same partition: equality patterns match
+        for i in range(0, 200, 17):
+            for j in range(0, 200, 13):
+                assert (a[i] == a[j]) == (b[i] == b[j])

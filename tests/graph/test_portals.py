@@ -1,0 +1,54 @@
+"""Tests for the portal super-hub overlay."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import lfr_graph
+from repro.graph.generators.webgraph import add_portals
+
+
+class TestAddPortals:
+    def test_portal_degree_reaches_fraction(self):
+        base = lfr_graph(500, mu=0.1, seed=1).graph
+        g = add_portals(base, n_portals=1, portal_fraction=0.5, seed=2)
+        g.validate()
+        assert g.degrees[0] >= 0.45 * 500
+
+    def test_non_portal_structure_preserved(self):
+        base = lfr_graph(500, mu=0.1, seed=1).graph
+        g = add_portals(base, n_portals=1, portal_fraction=0.3, seed=2)
+        # every original edge still present
+        for u, v, _ in list(base.iter_edges())[:200]:
+            assert g.has_edge(u, v)
+
+    def test_weights_capped_at_one(self):
+        base = lfr_graph(300, mu=0.1, seed=3).graph
+        g = add_portals(base, n_portals=2, portal_fraction=0.9, seed=4)
+        assert g.weights.max() <= 1.0
+
+    def test_zero_portals_identity(self):
+        base = lfr_graph(300, mu=0.1, seed=5).graph
+        g = add_portals(base, n_portals=0, portal_fraction=0.5, seed=6)
+        assert g == base
+
+    def test_no_self_loops_added(self):
+        base = lfr_graph(300, mu=0.1, seed=7).graph
+        g = add_portals(base, n_portals=3, portal_fraction=0.8, seed=8)
+        rows = np.repeat(np.arange(g.n_vertices), np.diff(g.indptr))
+        base_loops = int(np.count_nonzero(
+            np.repeat(np.arange(base.n_vertices), np.diff(base.indptr)) == base.indices
+        ))
+        assert int(np.count_nonzero(rows == g.indices)) == base_loops
+
+    def test_invalid_params(self):
+        base = lfr_graph(300, mu=0.1, seed=9).graph
+        with pytest.raises(ValueError):
+            add_portals(base, -1, 0.5)
+        with pytest.raises(ValueError):
+            add_portals(base, 1, 1.5)
+
+    def test_deterministic(self):
+        base = lfr_graph(300, mu=0.1, seed=10).graph
+        a = add_portals(base, 2, 0.4, seed=11)
+        b = add_portals(base, 2, 0.4, seed=11)
+        assert a == b

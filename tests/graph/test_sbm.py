@@ -1,0 +1,62 @@
+"""Tests for the stochastic block model generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import stochastic_block_model
+
+
+class TestSBM:
+    def test_shapes_and_labels(self):
+        g, labels = stochastic_block_model(
+            [10, 20, 30], np.full((3, 3), 0.1), seed=0
+        )
+        assert g.n_vertices == 60
+        assert labels.shape == (60,)
+        assert list(np.bincount(labels)) == [10, 20, 30]
+        g.validate()
+
+    def test_assortative_density(self):
+        probs = [[0.5, 0.01], [0.01, 0.5]]
+        g, labels = stochastic_block_model([40, 40], probs, seed=1)
+        src, dst, _ = g.edge_arrays()
+        internal = (labels[src] == labels[dst]).mean()
+        assert internal > 0.9
+
+    def test_disassortative_negative_control(self):
+        """Off-diagonal-dense SBM: modularity clustering must NOT recover
+        the blocks (bipartite-like structure)."""
+        from repro.core import sequential_louvain
+        from repro.quality import normalized_mutual_information
+
+        probs = [[0.02, 0.4], [0.4, 0.02]]
+        g, labels = stochastic_block_model([40, 40], probs, seed=2)
+        res = sequential_louvain(g)
+        assert normalized_mutual_information(res.assignment, labels) < 0.3
+
+    def test_zero_probability_block(self):
+        probs = [[0.3, 0.0], [0.0, 0.3]]
+        g, labels = stochastic_block_model([20, 20], probs, seed=3)
+        src, dst, _ = g.edge_arrays()
+        assert np.all(labels[src] == labels[dst])
+
+    def test_expected_edge_count(self):
+        n = 100
+        g, _ = stochastic_block_model([n], [[0.2]], seed=4)
+        expected = 0.2 * n * (n - 1) / 2
+        assert abs(g.n_edges - expected) < 0.2 * expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([], [[0.1]])
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], [[0.1, 0.2]])
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], [[0.1, 0.2], [0.3, 0.1]])
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], [[1.5]])
+
+    def test_deterministic(self):
+        a, _ = stochastic_block_model([15, 15], np.full((2, 2), 0.2), seed=9)
+        b, _ = stochastic_block_model([15, 15], np.full((2, 2), 0.2), seed=9)
+        assert a == b

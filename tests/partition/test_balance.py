@@ -1,0 +1,58 @@
+"""Tests for the balance metrics (paper Eq. 5)."""
+
+import numpy as np
+
+from repro.partition import (
+    delegate_partition,
+    edges_per_rank,
+    ghosts_per_rank,
+    max_ghosts,
+    oned_partition,
+    workload_imbalance,
+)
+
+
+class TestWorkloadImbalance:
+    def test_zero_for_perfect_balance(self):
+        from repro.graph.generators import complete_graph
+
+        part = oned_partition(complete_graph(8), 4)
+        assert workload_imbalance(part) == 0.0
+
+    def test_formula(self, karate):
+        part = oned_partition(karate, 3)
+        counts = edges_per_rank(part)
+        expected = counts.max() / counts.mean() - 1.0
+        assert np.isclose(workload_imbalance(part), expected)
+
+    def test_empty_graph_is_balanced(self):
+        from repro.graph.csr import CSRGraph
+
+        part = oned_partition(CSRGraph.from_edges(4, []), 2)
+        assert workload_imbalance(part) == 0.0
+
+
+class TestGhostCounts:
+    def test_ghosts_per_rank_shape(self, web_graph):
+        part = oned_partition(web_graph, 4)
+        g = ghosts_per_rank(part)
+        assert g.shape == (4,)
+        assert np.all(g >= 0)
+
+    def test_max_ghosts(self, web_graph):
+        part = oned_partition(web_graph, 4)
+        assert max_ghosts(part) == ghosts_per_rank(part).max()
+
+    def test_paper_trend_1d_vs_delegate(self):
+        """Fig. 6(c): 1D imbalance grows with p, delegate stays ~0."""
+        from repro.graph.generators import copying_web_graph
+
+        g = copying_web_graph(3000, 8, copy_prob=0.85, seed=3)
+        w1 = [workload_imbalance(oned_partition(g, p)) for p in (4, 8, 16)]
+        wd = [
+            workload_imbalance(delegate_partition(g, p, d_high=8 * p))
+            for p in (4, 8, 16)
+        ]
+        assert w1[-1] > w1[0]  # grows
+        assert all(w < 0.05 for w in wd)  # near zero
+        assert all(d < o for d, o in zip(wd, w1))

@@ -1,0 +1,81 @@
+"""Tests for block-1D entry mapping and BFS locality relabeling."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import lfr_graph, path_graph
+from repro.graph.ops import locality_relabel, permute_vertices
+from repro.partition.oned import block_oned_entry_ranks, oned_partition
+
+
+class TestBlockEntryRanks:
+    def test_every_entry_assigned(self, karate):
+        ranks = block_oned_entry_ranks(karate, 4)
+        assert ranks.shape == (karate.n_directed_entries,)
+        assert ranks.min() >= 0 and ranks.max() < 4
+
+    def test_contiguous_vertices_share_rank(self):
+        g = path_graph(40)
+        ranks = block_oned_entry_ranks(g, 4)
+        rows = np.repeat(np.arange(40), np.diff(g.indptr))
+        # vertices 0..9 -> rank 0, etc.
+        for u, r in zip(rows, ranks):
+            assert r == min(u // 10, 3)
+
+    def test_invalid_size(self, karate):
+        with pytest.raises(ValueError):
+            block_oned_entry_ranks(karate, 0)
+
+
+class TestLocalityRelabel:
+    def test_permutation_valid(self, web_graph):
+        relabelled, perm = locality_relabel(web_graph)
+        assert np.array_equal(np.sort(perm), np.arange(web_graph.n_vertices))
+        relabelled.validate()
+        assert relabelled.n_edges == web_graph.n_edges
+
+    def test_matches_permute_vertices(self, karate):
+        relabelled, perm = locality_relabel(karate)
+        assert relabelled == permute_vertices(karate, perm)
+
+    def test_improves_block_locality(self):
+        """After BFS relabeling, a contiguous block split cuts fewer edges
+        on a community-structured graph with scrambled ids."""
+        bench = lfr_graph(600, mu=0.05, seed=21)
+        rng = np.random.default_rng(4)
+        scrambled = permute_vertices(bench.graph, rng.permutation(600))
+
+        def cross_block_edges(g, p=4):
+            bounds = np.linspace(0, g.n_vertices, p + 1).astype(np.int64)
+            blk = np.searchsorted(bounds, np.arange(g.n_vertices), side="right") - 1
+            src, dst, _ = g.edge_arrays()
+            return int((blk[src] != blk[dst]).sum())
+
+        relabelled, _ = locality_relabel(scrambled)
+        assert cross_block_edges(relabelled) < cross_block_edges(scrambled)
+
+    def test_handles_disconnected(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(6, [(0, 1), (3, 4)])
+        relabelled, perm = locality_relabel(g)
+        relabelled.validate()
+        assert np.array_equal(np.sort(perm), np.arange(6))
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(3, [])
+        relabelled, perm = locality_relabel(g)
+        assert relabelled.n_vertices == 3
+
+    def test_clustering_unaffected_by_relabel(self, lfr_small):
+        """Relabeling must not change achievable quality (sanity)."""
+        from repro.core import DistributedConfig, distributed_louvain
+
+        relabelled, perm = locality_relabel(lfr_small.graph)
+        a = distributed_louvain(
+            lfr_small.graph, 4, DistributedConfig(d_high=64)
+        )
+        b = distributed_louvain(relabelled, 4, DistributedConfig(d_high=64))
+        assert abs(a.modularity - b.modularity) < 0.03

@@ -1,0 +1,141 @@
+"""Tests for delegate partitioning (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    delegate_partition,
+    edges_per_rank,
+    ghosts_per_rank,
+    oned_partition,
+    workload_imbalance,
+)
+
+
+class TestHubDetection:
+    def test_threshold_inclusive(self, karate):
+        part = delegate_partition(karate, 2, d_high=10)
+        hubs = set(part.hub_global_ids.tolist())
+        assert hubs == {v for v in range(34) if karate.degrees[v] >= 10}
+
+    def test_default_threshold_is_rank_count(self, karate):
+        part = delegate_partition(karate, 8)
+        assert part.d_high == 8
+
+    def test_no_hubs_when_threshold_high(self, karate):
+        part = delegate_partition(karate, 4, d_high=1000)
+        assert part.hub_global_ids.size == 0
+
+    def test_delegates_on_every_rank(self, web_graph):
+        part = delegate_partition(web_graph, 4, d_high=50)
+        assert part.hub_global_ids.size > 0
+        for lg in part.locals:
+            assert lg.n_hubs == part.hub_global_ids.size
+            assert np.array_equal(
+                lg.global_ids[lg.n_owned : lg.n_rows], part.hub_global_ids
+            )
+
+
+class TestEdgeAssignment:
+    def test_conservation(self, web_graph):
+        for p in (2, 4, 8):
+            part = delegate_partition(web_graph, p, d_high=50)
+            assert edges_per_rank(part).sum() == web_graph.n_directed_entries
+            total_w = sum(lg.weights.sum() for lg in part.locals)
+            assert np.isclose(total_w, web_graph.weights.sum())
+
+    def test_low_vertex_rows_complete(self, web_graph):
+        """A low-degree vertex's own out-entries all live on its owner,
+        even after rebalancing (only hub-sourced entries move)."""
+        part = delegate_partition(web_graph, 4, d_high=50)
+        hubs = set(part.hub_global_ids.tolist())
+        for lg in part.locals:
+            for i in range(lg.n_owned):
+                g = int(lg.global_ids[i])
+                assert g not in hubs
+                local_deg = lg.indptr[i + 1] - lg.indptr[i]
+                assert local_deg == web_graph.degrees[g]
+
+    def test_hub_rows_partitioned_not_duplicated(self, web_graph):
+        part = delegate_partition(web_graph, 4, d_high=50)
+        for j, h in enumerate(part.hub_global_ids):
+            total = 0
+            for lg in part.locals:
+                u = lg.n_owned + j
+                total += int(lg.indptr[u + 1] - lg.indptr[u])
+            assert total == web_graph.degrees[h]
+
+    def test_row_weighted_degree_is_global(self, web_graph):
+        part = delegate_partition(web_graph, 4, d_high=50)
+        for lg in part.locals:
+            for i in range(lg.n_rows):
+                g = lg.global_ids[i]
+                assert lg.row_weighted_degree[i] == web_graph.weighted_degrees[g]
+
+    def test_hubs_never_ghosts(self, web_graph):
+        part = delegate_partition(web_graph, 4, d_high=50)
+        hubs = set(part.hub_global_ids.tolist())
+        for lg in part.locals:
+            ghosts = set(lg.global_ids[lg.n_rows :].tolist())
+            assert not (ghosts & hubs)
+
+
+class TestBalance:
+    def test_near_perfect_edge_balance(self, web_graph):
+        part = delegate_partition(web_graph, 8, d_high=30)
+        assert workload_imbalance(part) < 0.05
+
+    def test_beats_1d_on_hub_graphs(self, web_graph):
+        w_dg = workload_imbalance(delegate_partition(web_graph, 8, d_high=30))
+        w_1d = workload_imbalance(oned_partition(web_graph, 8))
+        assert w_dg < w_1d
+
+    def test_rebalance_flag(self, web_graph):
+        balanced = delegate_partition(web_graph, 8, d_high=30, rebalance=True)
+        raw = delegate_partition(web_graph, 8, d_high=30, rebalance=False)
+        assert workload_imbalance(balanced) <= workload_imbalance(raw) + 1e-12
+
+    def test_star_graph_extreme(self):
+        from repro.graph.generators import star_graph
+
+        g = star_graph(64)
+        part = delegate_partition(g, 8, d_high=8)
+        counts = edges_per_rank(part)
+        assert counts.max() - counts.min() <= 2
+
+
+class TestEdgeCases:
+    def test_single_rank(self, karate):
+        part = delegate_partition(karate, 1, d_high=10)
+        part.validate()
+        assert part.locals[0].n_ghosts == 0
+
+    def test_all_vertices_hubs(self, karate):
+        part = delegate_partition(karate, 2, d_high=1)
+        part.validate()
+        assert part.hub_global_ids.size == 34
+        for lg in part.locals:
+            assert lg.n_owned == 0
+            assert lg.n_ghosts == 0
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        part = delegate_partition(CSRGraph.from_edges(5, []), 2)
+        part.validate()
+        assert edges_per_rank(part).sum() == 0
+
+    def test_invalid_args(self, karate):
+        with pytest.raises(ValueError):
+            delegate_partition(karate, 0)
+        with pytest.raises(ValueError):
+            delegate_partition(karate, 2, d_high=0)
+
+    def test_self_loop_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 0), (0, 1), (2, 3)], weights=[2.0, 1.0, 1.0])
+        part = delegate_partition(g, 2, d_high=100)
+        part.validate()
+        total_w = sum(lg.weights.sum() for lg in part.locals)
+        assert np.isclose(total_w, g.weights.sum())

@@ -1,0 +1,95 @@
+"""Tests for 1D round-robin partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.partition import edges_per_rank, oned_partition
+from repro.partition.distgraph import owner_of
+
+
+class TestOned:
+    def test_all_entries_assigned_once(self, karate):
+        part = oned_partition(karate, 3)
+        assert edges_per_rank(part).sum() == karate.n_directed_entries
+
+    def test_rows_are_owned_vertices(self, karate):
+        part = oned_partition(karate, 4)
+        for lg in part.locals:
+            assert lg.n_hubs == 0
+            owned = lg.global_ids[: lg.n_owned]
+            assert np.all(owner_of(owned, 4) == lg.rank)
+
+    def test_owned_rows_complete(self, karate):
+        """A 1D-owned vertex keeps its whole adjacency list locally."""
+        part = oned_partition(karate, 4)
+        for lg in part.locals:
+            for i in range(lg.n_owned):
+                g = lg.global_ids[i]
+                local_deg = lg.indptr[i + 1] - lg.indptr[i]
+                assert local_deg == karate.degrees[g]
+
+    def test_weighted_degree_matches_global(self, web_graph):
+        part = oned_partition(web_graph, 4)
+        for lg in part.locals:
+            for i in range(lg.n_rows):
+                g = lg.global_ids[i]
+                assert lg.row_weighted_degree[i] == web_graph.weighted_degrees[g]
+
+    def test_ghosts_are_foreign(self, karate):
+        part = oned_partition(karate, 4)
+        for lg in part.locals:
+            ghosts = lg.global_ids[lg.n_rows :]
+            assert np.all(owner_of(ghosts, 4) != lg.rank)
+
+    def test_validate_passes(self, karate, web_graph):
+        for g in (karate, web_graph):
+            for p in (1, 2, 5):
+                oned_partition(g, p).validate()
+
+    def test_single_rank_has_no_ghosts(self, karate):
+        part = oned_partition(karate, 1)
+        assert part.locals[0].n_ghosts == 0
+        assert part.locals[0].n_owned == karate.n_vertices
+
+    def test_more_ranks_than_vertices(self):
+        from repro.graph.generators import path_graph
+
+        part = oned_partition(path_graph(3), 8)
+        part.validate()
+        assert sum(lg.n_owned for lg in part.locals) == 3
+
+    def test_invalid_size(self, karate):
+        with pytest.raises(ValueError):
+            oned_partition(karate, 0)
+
+    def test_hub_concentration(self):
+        """The known 1D weakness: a hub's edges pile up on one rank."""
+        from repro.graph.generators import star_graph
+
+        g = star_graph(64)
+        counts = edges_per_rank(oned_partition(g, 8))
+        assert counts[0] > 3 * counts[1:].mean()
+
+
+class TestGhostExchangeMaps:
+    def test_send_recv_maps_mirror(self, web_graph):
+        part = oned_partition(web_graph, 4)
+        for lg in part.locals:
+            for peer, ids in lg.recv_from.items():
+                assert np.array_equal(ids, part.locals[peer].send_to[lg.rank])
+
+    def test_recv_covers_all_ghosts(self, web_graph):
+        part = oned_partition(web_graph, 4)
+        for lg in part.locals:
+            if lg.n_ghosts:
+                received = np.concatenate(list(lg.recv_from.values()))
+                assert np.array_equal(
+                    np.sort(received), lg.global_ids[lg.n_rows :]
+                )
+
+    def test_sent_ids_are_owned(self, web_graph):
+        part = oned_partition(web_graph, 4)
+        for lg in part.locals:
+            owned = set(lg.global_ids[: lg.n_owned].tolist())
+            for ids in lg.send_to.values():
+                assert set(ids.tolist()) <= owned

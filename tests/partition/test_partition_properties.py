@@ -1,0 +1,92 @@
+"""Hypothesis property tests: partition invariants on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.partition import delegate_partition, edges_per_rank, oned_partition
+from repro.partition.distgraph import owner_of
+
+
+@st.composite
+def graph_and_p(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=80))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    p = draw(st.integers(min_value=1, max_value=6))
+    d_high = draw(st.integers(min_value=1, max_value=12))
+    return CSRGraph.from_edges(n, edges), p, d_high
+
+
+@given(graph_and_p())
+@settings(max_examples=100, deadline=None)
+def test_delegate_partition_invariants(data):
+    graph, p, d_high = data
+    part = delegate_partition(graph, p, d_high=d_high)
+    part.validate()
+    # every directed entry assigned exactly once
+    assert edges_per_rank(part).sum() == graph.n_directed_entries
+    # total weight conserved
+    assert np.isclose(
+        sum(lg.weights.sum() for lg in part.locals), graph.weights.sum()
+    )
+    # hubs present identically on all ranks; ghosts disjoint from hubs/owned
+    hubs = set(part.hub_global_ids.tolist())
+    owned_union: list[int] = []
+    for lg in part.locals:
+        assert lg.n_hubs == len(hubs)
+        owned = lg.global_ids[: lg.n_owned]
+        owned_union.extend(owned.tolist())
+        assert not (set(owned.tolist()) & hubs)
+        ghosts = set(lg.global_ids[lg.n_rows :].tolist())
+        assert not (ghosts & hubs)
+        assert not (ghosts & set(owned.tolist()))
+    # every non-hub vertex owned exactly once
+    non_hubs = [v for v in range(graph.n_vertices) if v not in hubs]
+    assert sorted(owned_union) == non_hubs
+
+
+@given(graph_and_p())
+@settings(max_examples=100, deadline=None)
+def test_oned_partition_invariants(data):
+    graph, p, _ = data
+    part = oned_partition(graph, p)
+    part.validate()
+    assert edges_per_rank(part).sum() == graph.n_directed_entries
+    # every vertex owned exactly once, by id % p
+    for lg in part.locals:
+        owned = lg.global_ids[: lg.n_owned]
+        assert np.all(owner_of(owned, p) == lg.rank)
+    assert sum(lg.n_owned for lg in part.locals) == graph.n_vertices
+
+
+@given(graph_and_p())
+@settings(max_examples=60, deadline=None)
+def test_row_degrees_sum_to_global(data):
+    """Across all ranks, per-vertex stored out-entries reconstruct the
+    global degree of every vertex."""
+    graph, p, d_high = data
+    part = delegate_partition(graph, p, d_high=d_high)
+    counted = np.zeros(graph.n_vertices, dtype=np.int64)
+    for lg in part.locals:
+        for i in range(lg.n_rows):
+            counted[lg.global_ids[i]] += lg.indptr[i + 1] - lg.indptr[i]
+    assert np.array_equal(counted, graph.degrees)
+
+
+@given(graph_and_p())
+@settings(max_examples=60, deadline=None)
+def test_ghost_maps_consistent(data):
+    graph, p, d_high = data
+    part = delegate_partition(graph, p, d_high=d_high)
+    for lg in part.locals:
+        for peer, ids in lg.recv_from.items():
+            assert np.array_equal(ids, part.locals[peer].send_to[lg.rank])
+            assert np.all(owner_of(ids, p) == peer)

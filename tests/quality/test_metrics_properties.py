@@ -1,0 +1,95 @@
+"""Hypothesis property tests for the quality metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality import (
+    adjusted_rand_index,
+    f_measure,
+    jaccard_index,
+    normalized_mutual_information,
+    normalized_van_dongen,
+    rand_index,
+)
+from repro.quality.contingency import contingency_table, pair_counts
+
+
+@st.composite
+def labelings(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    k = draw(st.integers(min_value=1, max_value=6))
+    x = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    y = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    return np.asarray(x, dtype=np.int64), np.asarray(y, dtype=np.int64)
+
+
+SYMMETRIC = [
+    normalized_mutual_information,
+    normalized_van_dongen,
+    rand_index,
+    adjusted_rand_index,
+    jaccard_index,
+]
+
+
+@given(labelings())
+@settings(max_examples=100, deadline=None)
+def test_symmetric_metrics(data):
+    x, y = data
+    for metric in SYMMETRIC:
+        assert np.isclose(metric(x, y), metric(y, x), atol=1e-12)
+
+
+@given(labelings())
+@settings(max_examples=100, deadline=None)
+def test_bounds(data):
+    x, y = data
+    assert 0.0 <= normalized_mutual_information(x, y) <= 1.0
+    assert 0.0 <= normalized_van_dongen(x, y) <= 1.0
+    assert 0.0 <= rand_index(x, y) <= 1.0
+    assert 0.0 <= jaccard_index(x, y) <= 1.0
+    assert 0.0 <= f_measure(x, y) <= 1.0
+    assert -1.0 <= adjusted_rand_index(x, y) <= 1.0
+
+
+@given(labelings())
+@settings(max_examples=80, deadline=None)
+def test_self_agreement_is_perfect(data):
+    x, _ = data
+    assert np.isclose(normalized_mutual_information(x, x), 1.0, atol=1e-12)
+    assert normalized_van_dongen(x, x) == 0.0
+    assert rand_index(x, x) == 1.0
+    assert jaccard_index(x, x) == 1.0
+    assert np.isclose(f_measure(x, x), 1.0, atol=1e-12)
+
+
+@given(labelings(), st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_relabel_invariance(data, seed):
+    x, y = data
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(int(y.max()) + 1)
+    y2 = perm[y]
+    for metric in SYMMETRIC + [f_measure]:
+        assert np.isclose(metric(x, y), metric(x, y2), atol=1e-12)
+
+
+@given(labelings())
+@settings(max_examples=80, deadline=None)
+def test_pair_counts_partition_all_pairs(data):
+    x, y = data
+    n11, n10, n01, n00 = pair_counts(x, y)
+    n = x.size
+    assert n11 + n10 + n01 + n00 == n * (n - 1) / 2
+    assert min(n11, n10, n01, n00) >= 0
+
+
+@given(labelings())
+@settings(max_examples=80, deadline=None)
+def test_contingency_marginals(data):
+    x, y = data
+    table, sa, sb = contingency_table(x, y)
+    assert table.sum() == x.size
+    assert np.array_equal(table.sum(axis=1), sa)
+    assert np.array_equal(table.sum(axis=0), sb)

@@ -1,0 +1,125 @@
+"""Tests for graph-structural quality metrics and VI."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, ring_of_cliques, two_triangles_bridge
+from repro.quality.structural import (
+    coverage,
+    mean_conductance,
+    performance,
+    variation_of_information,
+)
+
+
+class TestCoverage:
+    def test_one_community_full_coverage(self, karate):
+        assert coverage(karate, np.zeros(34, dtype=np.int64)) == 1.0
+
+    def test_singletons_only_self_loops(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert coverage(g, np.arange(3)) == 0.0
+
+    def test_two_triangles(self, triangles):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        assert np.isclose(coverage(triangles, a), 6 / 7)
+
+    def test_weighted(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3), (1, 2)], weights=[3.0, 3.0, 2.0])
+        a = np.array([0, 0, 1, 1])
+        assert np.isclose(coverage(g, a), 6 / 8)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [])
+        assert coverage(g, np.arange(3)) == 1.0
+
+
+class TestPerformance:
+    def test_perfect_on_disjoint_cliques(self):
+        # two disjoint triangles: clique partition classifies every pair
+        g = CSRGraph.from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        a = np.array([0, 0, 0, 1, 1, 1])
+        assert performance(g, a) == 1.0
+
+    def test_all_in_one_counts_missing_edges_wrong(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        a = np.zeros(4, dtype=np.int64)
+        # only the single present edge is "correct" out of 6 pairs
+        assert np.isclose(performance(g, a), 1 / 6)
+
+    def test_bounds_random(self):
+        rng = np.random.default_rng(0)
+        from tests.conftest import random_graph
+
+        g = random_graph(1, n=30)
+        for _ in range(5):
+            a = rng.integers(0, 4, 30)
+            assert 0.0 <= performance(g, a) <= 1.0
+
+
+class TestConductance:
+    def test_whole_graph_zero(self, karate):
+        assert mean_conductance(karate, np.zeros(34, dtype=np.int64)) == 0.0
+
+    def test_two_triangles_bridge(self, triangles):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        # each triangle: cut 1, vol 7 -> phi = 1/7; weighted mean = 1/7
+        assert np.isclose(mean_conductance(triangles, a), 1 / 7)
+
+    def test_good_partition_beats_bad(self):
+        g = ring_of_cliques(6, 5)
+        good = np.repeat(np.arange(6), 5)
+        rng = np.random.default_rng(2)
+        bad = rng.integers(0, 6, 30)
+        assert mean_conductance(g, good) < mean_conductance(g, bad)
+
+    def test_bounds(self, web_graph):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 10, web_graph.n_vertices)
+        assert 0.0 <= mean_conductance(web_graph, a) <= 1.0
+
+
+class TestVariationOfInformation:
+    def test_identical_zero(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert variation_of_information(a, a) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 4, 100)
+        b = rng.integers(0, 4, 100)
+        assert np.isclose(
+            variation_of_information(a, b), variation_of_information(b, a)
+        )
+
+    def test_normalized_bounds(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 6, 200)
+        b = rng.integers(0, 6, 200)
+        v = variation_of_information(a, b)
+        assert 0.0 <= v <= 1.0
+
+    def test_max_for_orthogonal(self):
+        # singletons vs all-in-one: VI = log n -> normalized 1
+        n = 16
+        a = np.arange(n)
+        b = np.zeros(n, dtype=np.int64)
+        assert np.isclose(variation_of_information(a, b), 1.0)
+
+    def test_unnormalized(self):
+        n = 8
+        a = np.arange(n)
+        b = np.zeros(n, dtype=np.int64)
+        assert np.isclose(
+            variation_of_information(a, b, normalized=False), np.log(n)
+        )
+
+    def test_triangle_inequality_samples(self):
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            x = rng.integers(0, 4, 60)
+            y = rng.integers(0, 4, 60)
+            z = rng.integers(0, 4, 60)
+            vi = lambda a, b: variation_of_information(a, b, normalized=False)
+            assert vi(x, z) <= vi(x, y) + vi(y, z) + 1e-9

@@ -1,0 +1,143 @@
+"""Tests for the simulated communicator's collectives."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import reducers, run_spmd
+from repro.runtime.comm import CommError
+
+
+def spmd(p, fn, **kw):
+    return run_spmd(p, fn, timeout=20.0, **kw).results
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_ranks_collected_in_order(self, p):
+        res = spmd(p, lambda c: c.allgather(c.rank * 10))
+        for out in res:
+            assert out == [r * 10 for r in range(p)]
+
+    def test_numpy_payloads(self):
+        res = spmd(3, lambda c: c.allgather(np.full(2, c.rank)))
+        for out in res:
+            assert [int(a[0]) for a in out] == [0, 1, 2]
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self):
+        def prog(c):
+            sent = [f"{c.rank}->{i}" for i in range(c.size)]
+            got = c.alltoall(sent)
+            return got
+
+        res = spmd(4, prog)
+        for r, got in enumerate(res):
+            assert got == [f"{src}->{r}" for src in range(4)]
+
+    def test_wrong_payload_count_raises(self):
+        from repro.runtime.engine import SPMDError
+
+        with pytest.raises(SPMDError):
+            spmd(3, lambda c: c.alltoall([1, 2]))
+
+
+class TestBcast:
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_every_rank_receives_root_value(self, root):
+        def prog(c):
+            return c.bcast({"v": c.rank} if c.rank == root else None, root=root)
+
+        res = spmd(3, prog)
+        assert all(out == {"v": root} for out in res)
+
+    def test_bad_root(self):
+        from repro.runtime.engine import SPMDError
+
+        with pytest.raises(SPMDError):
+            spmd(2, lambda c: c.bcast(1, root=5))
+
+
+class TestAllreduce:
+    def test_sum(self):
+        res = spmd(4, lambda c: c.allreduce(c.rank + 1))
+        assert all(out == 10 for out in res)
+
+    def test_max_min(self):
+        res = spmd(4, lambda c: (c.allreduce(c.rank, reducers.MAX),
+                                 c.allreduce(c.rank, reducers.MIN)))
+        assert all(out == (3, 0) for out in res)
+
+    def test_elementwise_arrays(self):
+        def prog(c):
+            return c.allreduce(np.array([c.rank, -c.rank]), reducers.MAX)
+
+        res = spmd(3, prog)
+        for out in res:
+            assert list(out) == [2, 0]
+
+    def test_maxloc_tie_smaller_index(self):
+        def prog(c):
+            val = 1.0 if c.rank in (1, 3) else 0.0
+            return c.allreduce((val, c.rank), reducers.MAXLOC)
+
+        res = spmd(4, prog)
+        assert all(out == (1.0, 1) for out in res)
+
+    def test_deterministic_fold_order(self):
+        # string concat is non-commutative: exposes reduction order
+        res = spmd(3, lambda c: c.allreduce(str(c.rank), lambda a, b: a + b))
+        assert all(out == "012" for out in res)
+
+
+class TestReduceGatherScatter:
+    def test_reduce_only_root_gets_value(self):
+        res = spmd(3, lambda c: c.reduce(c.rank + 1, root=1))
+        assert res == [None, 6, None]
+
+    def test_gather(self):
+        res = spmd(3, lambda c: c.gather(c.rank ** 2, root=0))
+        assert res[0] == [0, 1, 4]
+        assert res[1] is None and res[2] is None
+
+    def test_scatter(self):
+        def prog(c):
+            data = [i * 3 for i in range(c.size)] if c.rank == 0 else None
+            return c.scatter(data, root=0)
+
+        res = spmd(4, prog)
+        assert res == [0, 3, 6, 9]
+
+    def test_scatter_requires_full_payload(self):
+        from repro.runtime.engine import SPMDError
+
+        def prog(c):
+            return c.scatter([1] if c.rank == 0 else None, root=0)
+
+        with pytest.raises(SPMDError):
+            spmd(3, prog)
+
+
+class TestBarrier:
+    def test_barrier_orders_collectives(self):
+        def prog(c):
+            c.barrier()
+            return c.allreduce(1)
+
+        res = spmd(4, prog)
+        assert all(out == 4 for out in res)
+
+
+class TestSingleRank:
+    def test_all_collectives_degenerate_cleanly(self):
+        def prog(c):
+            assert c.allgather(7) == [7]
+            assert c.allreduce(7) == 7
+            assert c.bcast(7, root=0) == 7
+            assert c.alltoall([7]) == [7]
+            assert c.gather(7, root=0) == [7]
+            assert c.scatter([7], root=0) == 7
+            c.barrier()
+            return True
+
+        assert spmd(1, prog) == [True]

@@ -1,0 +1,132 @@
+"""Point-to-point messaging and failure handling in the simulated runtime."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import DeadlockError, SPMDError, run_spmd
+
+
+def spmd(p, fn, **kw):
+    kw.setdefault("timeout", 10.0)
+    return run_spmd(p, fn, **kw).results
+
+
+class TestSendRecv:
+    def test_basic_roundtrip(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send("ping", dest=1)
+                return c.recv(source=1)
+            c.send("pong", dest=0)
+            return c.recv(source=0)
+
+        assert spmd(2, prog) == ["pong", "ping"]
+
+    def test_tags_demultiplex(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send("a", dest=1, tag=1)
+                c.send("b", dest=1, tag=2)
+                return None
+            # receive in reverse tag order
+            b = c.recv(source=0, tag=2)
+            a = c.recv(source=0, tag=1)
+            return a, b
+
+        assert spmd(2, prog)[1] == ("a", "b")
+
+    def test_fifo_per_channel(self):
+        def prog(c):
+            if c.rank == 0:
+                for i in range(5):
+                    c.send(i, dest=1)
+                return None
+            return [c.recv(source=0) for _ in range(5)]
+
+        assert spmd(2, prog)[1] == [0, 1, 2, 3, 4]
+
+    def test_numpy_payload(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.arange(4), dest=1)
+                return None
+            return int(c.recv(source=0).sum())
+
+        assert spmd(2, prog)[1] == 6
+
+    def test_self_send(self):
+        def prog(c):
+            c.send("loop", dest=c.rank)
+            return c.recv(source=c.rank)
+
+        assert spmd(2, prog) == ["loop", "loop"]
+
+    def test_bad_ranks_rejected(self):
+        with pytest.raises(SPMDError):
+            spmd(2, lambda c: c.send(1, dest=7))
+        with pytest.raises(SPMDError):
+            spmd(2, lambda c: c.recv(source=-1))
+
+
+class TestFailureHandling:
+    def test_exception_propagates_with_rank(self):
+        def prog(c):
+            if c.rank == 1:
+                raise RuntimeError("kaboom")
+            c.barrier()
+
+        with pytest.raises(SPMDError) as exc:
+            spmd(3, prog)
+        assert exc.value.rank == 1
+        assert isinstance(exc.value.original, RuntimeError)
+
+    def test_recv_timeout_is_deadlock(self):
+        def prog(c):
+            if c.rank == 0:
+                c.recv(source=1, timeout=0.2)  # nobody sends
+            return None
+
+        with pytest.raises(SPMDError) as exc:
+            spmd(2, prog)
+        assert isinstance(exc.value.original, DeadlockError)
+
+    def test_diverged_collective_order_detected(self):
+        def prog(c):
+            if c.rank == 0:
+                c.allgather(1)
+            # rank 1 never joins the collective -> broken barrier
+            return None
+
+        with pytest.raises(SPMDError):
+            spmd(2, prog, timeout=0.5)
+
+    def test_no_thread_leak_after_failure(self):
+        import threading
+
+        before = threading.active_count()
+
+        def prog(c):
+            if c.rank == 0:
+                raise ValueError("die")
+            c.barrier()
+
+        with pytest.raises(SPMDError):
+            spmd(4, prog, timeout=1.0)
+        # all simulated ranks must have exited
+        assert threading.active_count() <= before + 1
+
+    def test_n_ranks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda c: None)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def prog(c):
+            acc = c.allreduce(c.rank * 3.7)
+            vals = c.allgather(acc + c.rank)
+            return vals
+
+        a = spmd(4, prog)
+        b = spmd(4, prog)
+        assert a == b

@@ -1,0 +1,113 @@
+"""Tests for the BSP cost model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import MachineModel, run_spmd, simulate_time
+from repro.runtime.costmodel import simulate_phase_times
+
+
+def run(prog, p=4):
+    return run_spmd(p, prog, timeout=10).stats
+
+
+class TestMachineModel:
+    def test_defaults_positive(self):
+        m = MachineModel()
+        assert m.t_unit > 0 and m.alpha > 0 and m.beta > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(t_unit=-1)
+
+
+class TestMakespan:
+    def test_compute_is_max_over_ranks(self):
+        def prog(c):
+            c.add_compute(100 if c.rank == 0 else 10)
+            c.barrier()
+
+        t = simulate_time(run(prog), MachineModel(t_unit=1.0, alpha=0.0, beta=0.0))
+        assert t.compute == 100.0  # straggler dominates
+        assert t.total == 100.0
+
+    def test_latency_counts_supersteps(self):
+        def prog(c):
+            c.barrier()
+            c.barrier()
+            c.barrier()
+
+        t = simulate_time(run(prog), MachineModel(t_unit=0, alpha=2.0, beta=0))
+        assert t.latency == 6.0
+
+    def test_bandwidth_max_per_superstep(self):
+        def prog(c):
+            # rank 0 sends 4x more than the others in superstep 1
+            n = 32 if c.rank == 0 else 8
+            c.alltoall([np.zeros(n) for _ in range(c.size)])
+
+        t = simulate_time(run(prog), MachineModel(t_unit=0, alpha=0, beta=1.0))
+        assert t.bandwidth == 3 * 32 * 8  # 3 peers x 32 floats x 8 bytes
+
+    def test_balanced_beats_imbalanced(self):
+        def balanced(c):
+            c.add_compute(50)
+            c.barrier()
+
+        def imbalanced(c):
+            c.add_compute(200 if c.rank == 0 else 0)
+            c.barrier()
+
+        m = MachineModel(t_unit=1.0, alpha=0, beta=0)
+        assert simulate_time(run(balanced), m).total < simulate_time(
+            run(imbalanced), m
+        ).total
+
+    def test_trailing_work_after_last_collective_counted(self):
+        def prog(c):
+            c.barrier()
+            c.add_compute(77)
+
+        t = simulate_time(run(prog), MachineModel(t_unit=1.0, alpha=0, beta=0))
+        assert t.compute == 77.0
+
+    def test_two_step_sum(self):
+        def prog(c):
+            c.add_compute(10 * (c.rank + 1))
+            c.barrier()
+            c.add_compute(5)
+            c.barrier()
+
+        t = simulate_time(run(prog), MachineModel(t_unit=1.0, alpha=0, beta=0))
+        assert t.compute == 40 + 5
+
+
+class TestPhaseTimes:
+    def test_phases_partition_total(self):
+        def prog(c):
+            with c.phase("a"):
+                c.add_compute(10)
+                c.barrier()
+            with c.phase("b"):
+                c.add_compute(20)
+                c.barrier()
+
+        stats = run(prog)
+        m = MachineModel(t_unit=1.0, alpha=0.5, beta=0)
+        per_phase = simulate_phase_times(stats, m)
+        total = simulate_time(stats, m)
+        assert set(per_phase) == {"a", "b"}
+        assert per_phase["a"].compute == 10
+        assert per_phase["b"].compute == 20
+        phase_sum = sum(t.total for t in per_phase.values())
+        assert np.isclose(phase_sum, total.total)
+
+
+class TestSimulatedTimeArithmetic:
+    def test_addition(self):
+        from repro.runtime.costmodel import SimulatedTime
+
+        a = SimulatedTime(1.0, 2.0, 3.0)
+        b = SimulatedTime(0.5, 0.5, 0.5)
+        c = a + b
+        assert c.total == 7.5

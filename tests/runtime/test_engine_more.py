@@ -1,0 +1,78 @@
+"""Additional engine behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_spmd
+from repro.runtime.engine import SPMDResult
+
+
+class TestArgPassing:
+    def test_positional_and_keyword_args(self):
+        def prog(comm, base, *, scale=1):
+            return (base + comm.rank) * scale
+
+        res = run_spmd(3, prog, 10, scale=2, timeout=5)
+        assert res.results == [20, 22, 24]
+
+    def test_shared_object_visible_to_all_ranks(self):
+        """Ranks share the process: passing a partition object by reference
+        is the supported pattern."""
+        payload = {"data": np.arange(5)}
+
+        def prog(comm):
+            return int(payload["data"][comm.rank])
+
+        res = run_spmd(3, prog, timeout=5)
+        assert res.results == [0, 1, 2]
+
+
+class TestResultStructure:
+    def test_result_type_and_ordering(self):
+        res = run_spmd(4, lambda c: c.rank * 100, timeout=5)
+        assert isinstance(res, SPMDResult)
+        assert res.results == [0, 100, 200, 300]
+        assert res.stats.size == 4
+        assert [r.rank for r in res.stats.ranks] == [0, 1, 2, 3]
+
+    def test_none_returns_preserved(self):
+        res = run_spmd(2, lambda c: None, timeout=5)
+        assert res.results == [None, None]
+
+
+class TestConcurrencyStress:
+    def test_many_ranks(self):
+        """64 simulated ranks exchange collectives without deadlock."""
+
+        def prog(comm):
+            total = comm.allreduce(1)
+            got = comm.alltoall(list(range(comm.size)))
+            return total, got[0]
+
+        res = run_spmd(64, prog, timeout=60)
+        assert all(out == (64, comm_rank) for comm_rank, out in enumerate(res.results))
+
+    def test_repeated_worlds_do_not_interfere(self):
+        def prog(comm, tag):
+            return comm.allreduce(tag)
+
+        for tag in range(5):
+            res = run_spmd(3, prog, tag, timeout=5)
+            assert res.results == [3 * tag] * 3
+
+    def test_heavy_p2p_traffic(self):
+        """A ring of sends with many messages in flight."""
+
+        def prog(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            for i in range(50):
+                comm.send(i * comm.rank, dest=nxt, tag=i)
+            acc = 0
+            for i in range(50):
+                acc += comm.recv(source=prv, tag=i)
+            return acc
+
+        res = run_spmd(4, prog, timeout=30)
+        expected = [sum(i * ((r - 1) % 4) for i in range(50)) for r in range(4)]
+        assert res.results == expected

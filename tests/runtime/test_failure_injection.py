@@ -1,0 +1,147 @@
+"""Failure-injection tests: the simulated runtime under misbehaving ranks.
+
+The engine's contract: any rank failure surfaces as a single
+:class:`~repro.runtime.engine.SPMDError` identifying the original failing
+rank, every other rank is released (no leaked threads, no hangs), and the
+world is unusable afterwards only in documented ways.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedConfig, distributed_louvain
+from repro.runtime import DeadlockError, SPMDError, run_spmd
+
+
+class TestRankCrashes:
+    @pytest.mark.parametrize("crash_rank", [0, 1, 3])
+    def test_crash_before_first_collective(self, crash_rank):
+        def prog(c):
+            if c.rank == crash_rank:
+                raise RuntimeError("early death")
+            c.allreduce(1)
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(4, prog, timeout=2)
+        assert exc.value.rank == crash_rank
+
+    def test_crash_between_collectives(self):
+        def prog(c):
+            c.allreduce(1)
+            c.barrier()
+            if c.rank == 2:
+                raise ValueError("mid-flight")
+            c.allgather(c.rank)
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(4, prog, timeout=2)
+        assert isinstance(exc.value.original, ValueError)
+
+    def test_crash_while_peer_waits_on_recv(self):
+        def prog(c):
+            if c.rank == 0:
+                c.recv(source=1)  # rank 1 dies instead of sending
+            else:
+                raise RuntimeError("no send for you")
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=5)
+        # the ORIGINAL failure is reported, not rank 0's secondary abort
+        assert exc.value.rank == 1
+
+    def test_multiple_simultaneous_crashes_report_lowest_rank(self):
+        def prog(c):
+            raise RuntimeError(f"rank {c.rank} dies")
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(4, prog, timeout=2)
+        assert exc.value.rank == 0
+
+    def test_no_thread_leak_across_many_failures(self):
+        before = threading.active_count()
+
+        def prog(c):
+            if c.rank == 1:
+                raise RuntimeError("boom")
+            c.barrier()
+
+        for _ in range(5):
+            with pytest.raises(SPMDError):
+                run_spmd(3, prog, timeout=1)
+        time.sleep(0.05)
+        assert threading.active_count() <= before + 1
+
+
+class TestProtocolViolations:
+    def test_collective_order_divergence(self):
+        """Ranks disagreeing on which collective comes next must not
+        exchange each other's payloads silently — the barrier ordering
+        catches it (generation counters agree, payload types differ) or a
+        timeout fires."""
+
+        def prog(c):
+            if c.rank == 0:
+                return c.allreduce(1)
+            return c.allgather(1)
+
+        # generation counters still line up, so the exchange completes but
+        # each rank interprets its own collective semantics; the engine
+        # cannot detect this (same as real MPI) — document by asserting it
+        # does not hang
+        res = run_spmd(2, prog, timeout=2)
+        assert len(res.results) == 2
+
+    def test_missing_collective_participant_times_out(self):
+        def prog(c):
+            if c.rank == 0:
+                c.allreduce(1)
+            # rank 1 returns immediately
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=0.3)
+        assert isinstance(exc.value.original, (DeadlockError, Exception))
+
+    def test_recv_from_silent_peer_times_out_cleanly(self):
+        t0 = time.perf_counter()
+
+        def prog(c):
+            if c.rank == 0:
+                c.recv(source=1, timeout=0.2)
+
+        with pytest.raises(SPMDError):
+            run_spmd(2, prog, timeout=5)
+        assert time.perf_counter() - t0 < 4.0
+
+
+class TestAlgorithmLevelFailures:
+    def test_distributed_louvain_timeout_configurable(self, karate):
+        # a tiny timeout on a real run must either finish (fast machine) or
+        # raise SPMDError — never hang
+        try:
+            distributed_louvain(
+                karate, 2, DistributedConfig(d_high=40, timeout=0.001)
+            )
+        except SPMDError:
+            pass
+
+    def test_partition_mismatch_raises(self, karate):
+        """Feeding rank-local state from the wrong partition object fails
+        loudly, not silently."""
+        from repro.core.heuristics import get_heuristic
+        from repro.core.local_clustering import LocalClustering
+        from repro.partition import oned_partition
+
+        part2 = oned_partition(karate, 2)
+
+        def prog(c):
+            # every rank wrongly uses rank 0's local graph
+            lc = LocalClustering(
+                c, part2.locals[0], get_heuristic("enhanced"), max_inner=3
+            )
+            lc.run()
+
+        with pytest.raises(SPMDError):
+            run_spmd(2, prog, timeout=5)

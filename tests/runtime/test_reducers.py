@@ -1,0 +1,57 @@
+"""Tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import reducers
+
+
+class TestScalarOps:
+    def test_sum_prod(self):
+        assert reducers.reduce_values([1, 2, 3], reducers.SUM) == 6
+        assert reducers.reduce_values([2, 3, 4], reducers.PROD) == 24
+
+    def test_max_min(self):
+        assert reducers.reduce_values([3, 1, 2], reducers.MAX) == 3
+        assert reducers.reduce_values([3, 1, 2], reducers.MIN) == 1
+
+    def test_logical(self):
+        assert reducers.reduce_values([True, True], reducers.LAND) is True
+        assert reducers.reduce_values([True, False], reducers.LAND) is False
+        assert reducers.reduce_values([False, True], reducers.LOR) is True
+        assert reducers.reduce_values([False, False], reducers.LOR) is False
+
+
+class TestArrayOps:
+    def test_elementwise_max(self):
+        out = reducers.reduce_values(
+            [np.array([1, 5]), np.array([4, 2])], reducers.MAX
+        )
+        assert list(out) == [4, 5]
+
+    def test_elementwise_logical(self):
+        out = reducers.reduce_values(
+            [np.array([True, False]), np.array([True, True])], reducers.LAND
+        )
+        assert list(out) == [True, False]
+
+
+class TestLocOps:
+    def test_maxloc_basic(self):
+        assert reducers.reduce_values([(1.0, 0), (3.0, 1), (2.0, 2)], reducers.MAXLOC) == (3.0, 1)
+
+    def test_maxloc_tie_prefers_smaller_index(self):
+        assert reducers.reduce_values([(5.0, 2), (5.0, 0), (5.0, 1)], reducers.MAXLOC) == (5.0, 0)
+
+    def test_minloc(self):
+        assert reducers.reduce_values([(4.0, 0), (1.0, 3), (1.0, 1)], reducers.MINLOC) == (1.0, 1)
+
+
+class TestReduceValues:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reducers.reduce_values([], reducers.SUM)
+
+    def test_left_fold_order(self):
+        # subtraction is non-associative: pins the fold direction
+        assert reducers.reduce_values([10, 3, 2], lambda a, b: a - b) == 5

@@ -1,0 +1,116 @@
+"""Tests for traffic/compute accounting."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import payload_nbytes, run_spmd
+from repro.runtime.stats import RankStats
+
+
+class TestPayloadNbytes:
+    def test_numpy_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert payload_nbytes(np.zeros(10, dtype=np.int32)) == 40
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_none_free(self):
+        assert payload_nbytes(None) == 0
+
+    def test_scalars(self):
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes(2.5) == 8
+
+    def test_tuple_of_arrays(self):
+        t = (np.zeros(4), np.zeros(2, dtype=np.int64))
+        assert payload_nbytes(t) == 32 + 16
+
+    def test_pickle_fallback(self):
+        assert payload_nbytes({"k": [1, 2, 3]}) > 0
+
+
+class TestRankStats:
+    def test_phase_attribution(self):
+        rs = RankStats(rank=0)
+        rs.add_compute(10, "a")
+        rs.add_compute(5, "b")
+        rs.add_sent(100, "a")
+        assert rs.compute_by_phase["a"] == 10
+        assert rs.compute_by_phase["b"] == 5
+        assert rs.total_compute == 15
+        assert rs.total_bytes_sent == 100
+
+    def test_superstep_closure(self):
+        rs = RankStats(rank=0)
+        rs.add_compute(10, "x")
+        rs.close_superstep("x")
+        rs.add_compute(20, "x")
+        rs.close_superstep("x")
+        assert len(rs.supersteps) == 2
+        assert rs.supersteps[0].compute == 10
+        assert rs.supersteps[1].compute == 20
+        assert rs.total_collectives == 2
+
+
+class TestRunAccounting:
+    def test_compute_recorded_per_rank(self):
+        def prog(c):
+            c.add_compute(100 * (c.rank + 1))
+            c.barrier()
+
+        stats = run_spmd(3, prog, timeout=5).stats
+        assert list(stats.compute_per_rank()) == [100, 200, 300]
+
+    def test_alltoall_bytes_exclude_self(self):
+        def prog(c):
+            payloads = [np.zeros(8) for _ in range(c.size)]  # 64B each
+            c.alltoall(payloads)
+
+        stats = run_spmd(4, prog, timeout=5).stats
+        # each rank sends to 3 peers
+        assert all(b == 3 * 64 for b in stats.bytes_sent_per_rank())
+
+    def test_allreduce_log_volume(self):
+        def prog(c):
+            c.allreduce(np.zeros(4))  # 32B payload
+
+        stats = run_spmd(4, prog, timeout=5).stats
+        # recursive doubling: log2(4) = 2 transfers of 32B
+        assert all(b == 2 * 32 for b in stats.bytes_sent_per_rank())
+
+    def test_phase_tagging_through_comm(self):
+        def prog(c):
+            with c.phase("work"):
+                c.add_compute(7)
+                c.allgather(1)
+            c.add_compute(3)  # default phase "other"
+            c.barrier()
+
+        stats = run_spmd(2, prog, timeout=5).stats
+        assert stats.phase_compute("work").tolist() == [7, 7]
+        assert stats.phase_compute("other").tolist() == [3, 3]
+        assert "work" in stats.phases()
+
+    def test_superstep_count_uniform(self):
+        def prog(c):
+            c.allreduce(1)
+            c.barrier()
+            c.allgather(2)
+
+        stats = run_spmd(3, prog, timeout=5).stats
+        assert stats.n_supersteps() == 3
+        for r in stats.ranks:
+            assert len(r.supersteps) == 3
+
+    def test_p2p_bytes_counted_both_sides(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.zeros(16), dest=1)  # 128B
+            elif c.rank == 1:
+                c.recv(source=0)
+            c.barrier()
+
+        stats = run_spmd(2, prog, timeout=5).stats
+        assert stats.ranks[0].total_bytes_sent == 128
+        assert stats.ranks[1].total_bytes_recv == 128

@@ -1,0 +1,79 @@
+"""Tests for run-trace export/import."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_spmd, simulate_time
+from repro.runtime.trace import (
+    load_stats,
+    save_stats,
+    stats_from_dict,
+    stats_to_dict,
+    summarize,
+)
+
+
+@pytest.fixture()
+def sample_stats():
+    def prog(comm):
+        with comm.phase("work"):
+            comm.add_compute(50 * (comm.rank + 1))
+            comm.allreduce(comm.rank)
+        comm.allgather(np.zeros(4))
+        if comm.rank == 0:
+            comm.send(b"xy", dest=1)
+        elif comm.rank == 1:
+            comm.recv(source=0)
+        comm.barrier()
+
+    return run_spmd(3, prog, timeout=10).stats
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self, sample_stats):
+        restored = stats_from_dict(stats_to_dict(sample_stats))
+        assert restored.size == sample_stats.size
+        assert np.array_equal(
+            restored.compute_per_rank(), sample_stats.compute_per_rank()
+        )
+        assert np.array_equal(
+            restored.bytes_sent_per_rank(), sample_stats.bytes_sent_per_rank()
+        )
+        assert restored.n_supersteps() == sample_stats.n_supersteps()
+        assert sorted(restored.phases()) == sorted(sample_stats.phases())
+
+    def test_cost_model_identical_after_roundtrip(self, sample_stats):
+        restored = stats_from_dict(stats_to_dict(sample_stats))
+        assert simulate_time(restored).total == simulate_time(sample_stats).total
+
+    def test_file_roundtrip(self, sample_stats, tmp_path):
+        path = tmp_path / "trace.json"
+        save_stats(sample_stats, path)
+        restored = load_stats(path)
+        assert restored.size == sample_stats.size
+        # file must be plain JSON
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["format_version"] == 1
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            stats_from_dict({"format_version": 99, "ranks": []})
+
+
+class TestSummarize:
+    def test_contains_key_fields(self, sample_stats):
+        text = summarize(sample_stats)
+        assert "ranks            : 3" in text
+        assert "simulated time" in text
+        assert "work" in text  # phase listed
+
+    def test_summary_on_distributed_run(self, karate):
+        from repro.core import DistributedConfig, distributed_louvain
+
+        res = distributed_louvain(karate, 2, DistributedConfig(d_high=40))
+        text = summarize(res.stats)
+        assert "s1:find_best" in text
+        assert "supersteps" in text

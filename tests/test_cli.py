@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path, karate):
+    path = tmp_path / "karate.txt"
+    write_edge_list(karate, path)
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "model,extra",
+        [
+            ("lfr", ["--n", "200", "--mu", "0.1"]),
+            ("ba", ["--n", "200", "--degree", "3"]),
+            ("rmat", ["--scale", "7"]),
+            ("web", ["--n", "200", "--degree", "4"]),
+            ("ring", ["--cliques", "4", "--clique-size", "4"]),
+        ],
+    )
+    def test_generate_models(self, tmp_path, model, extra, capsys):
+        out = tmp_path / f"{model}.txt"
+        rc = main(["generate", model, "--output", str(out), *extra])
+        assert rc == 0
+        g = read_edge_list(out)
+        assert g.n_edges > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_lfr_with_truth(self, tmp_path):
+        out = tmp_path / "g.txt"
+        truth = tmp_path / "truth.txt"
+        rc = main(
+            [
+                "generate", "lfr", "--n", "200", "--output", str(out),
+                "--truth-output", str(truth),
+            ]
+        )
+        assert rc == 0
+        labels = np.loadtxt(truth, dtype=np.int64)
+        assert labels.shape == (200,)
+
+
+class TestCluster:
+    def test_distributed(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "comms.txt"
+        rc = main(
+            [
+                "cluster", str(graph_file), "--ranks", "2",
+                "--d-high", "40", "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Q =" in text
+        pairs = np.loadtxt(out, dtype=np.int64)
+        assert pairs.shape == (34, 2)
+
+    def test_sequential(self, graph_file, capsys):
+        rc = main(["cluster", str(graph_file), "--sequential"])
+        assert rc == 0
+        assert "sequential Louvain" in capsys.readouterr().out
+
+    def test_with_ground_truth(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        truth = tmp_path / "t.txt"
+        main(
+            [
+                "generate", "lfr", "--n", "300", "--mu", "0.08",
+                "--output", str(out), "--truth-output", str(truth),
+            ]
+        )
+        rc = main(
+            [
+                "cluster", str(out), "--ranks", "2", "--d-high", "64",
+                "--ground-truth", str(truth),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "NMI" in text
+
+    def test_truth_length_mismatch(self, graph_file, tmp_path):
+        bad = tmp_path / "bad.txt"
+        np.savetxt(bad, np.zeros(3), fmt="%d")
+        rc = main(
+            ["cluster", str(graph_file), "--ranks", "2", "--ground-truth", str(bad)]
+        )
+        assert rc == 2
+
+    def test_heuristic_and_partitioning_flags(self, graph_file, capsys):
+        rc = main(
+            [
+                "cluster", str(graph_file), "--ranks", "2",
+                "--heuristic", "minlabel", "--partitioning", "1d",
+            ]
+        )
+        assert rc == 0
+        assert "minlabel" in capsys.readouterr().out
+
+
+class TestTraceAndSummary:
+    def test_trace_written(self, graph_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = main(
+            [
+                "cluster", str(graph_file), "--ranks", "2", "--d-high", "40",
+                "--trace", str(trace),
+            ]
+        )
+        assert rc == 0
+        from repro.runtime.trace import load_stats
+
+        stats = load_stats(trace)
+        assert stats.size == 2
+
+    def test_summary_printed(self, graph_file, capsys):
+        rc = main(
+            ["cluster", str(graph_file), "--ranks", "2", "--d-high", "40",
+             "--summary"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "simulated time" in text
+        assert "communities      :" in text
+
+
+class TestQuality:
+    def test_quality_command(self, tmp_path, capsys):
+        import numpy as np
+
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        np.savetxt(a, np.array([0, 0, 1, 1]), fmt="%d")
+        np.savetxt(b, np.array([5, 5, 9, 9]), fmt="%d")
+        rc = main(["quality", str(a), str(b)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "NMI        1.0000" in text
+        assert "VI         0.0000" in text
+
+    def test_quality_accepts_pair_format(self, tmp_path, capsys):
+        import numpy as np
+
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        # "vertex community" pairs, shuffled order
+        np.savetxt(a, np.array([[1, 0], [0, 0], [2, 1]]), fmt="%d")
+        np.savetxt(b, np.array([0, 0, 1]), fmt="%d")
+        rc = main(["quality", str(a), str(b)])
+        assert rc == 0
+        assert "NMI        1.0000" in capsys.readouterr().out
+
+    def test_quality_length_mismatch(self, tmp_path):
+        import numpy as np
+
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        np.savetxt(a, np.zeros(3), fmt="%d")
+        np.savetxt(b, np.zeros(4), fmt="%d")
+        assert main(["quality", str(a), str(b)]) == 2
+
+
+class TestInfoAndReport:
+    def test_info(self, graph_file, capsys):
+        rc = main(["info", str(graph_file)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "vertices      : 34" in text
+        assert "edges         : 78" in text
+
+    def test_partition_report(self, graph_file, capsys):
+        rc = main(["partition-report", str(graph_file), "--ranks", "2", "4"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "W 1D" in text
+        assert "W delegate" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_file_friendly_error(self, capsys):
+        rc = main(["info", "/nonexistent/graph.txt"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_graph_friendly_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1\n")
+        rc = main(["info", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""End-to-end integration scenarios crossing every subsystem."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistributedConfig,
+    cheong_louvain,
+    distributed_louvain,
+    modularity,
+    sequential_louvain,
+)
+from repro.graph.generators import lfr_graph, planted_partition
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.quality import normalized_mutual_information, score_all
+from repro.runtime.costmodel import simulate_phase_times, simulate_time
+
+
+class TestIOToClusteringPipeline:
+    """Edge-list file -> graph -> distributed clustering -> metrics."""
+
+    def test_full_pipeline(self, tmp_path, lfr_small):
+        path = tmp_path / "graph.txt"
+        write_edge_list(lfr_small.graph, path)
+        graph = read_edge_list(path, n_vertices=lfr_small.graph.n_vertices)
+        assert graph == lfr_small.graph
+
+        result = distributed_louvain(graph, 4, DistributedConfig(d_high=64))
+        assert np.isclose(result.modularity, modularity(graph, result.assignment))
+        nmi = normalized_mutual_information(
+            result.assignment, lfr_small.ground_truth
+        )
+        assert nmi > 0.8
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_algorithms_agree_on_crisp_structure(self, planted):
+        """Planted partition with crisp structure: sequential, distributed
+        and the Cheong baseline must all recover it well."""
+        graph, truth = planted
+        seq = sequential_louvain(graph)
+        dist = distributed_louvain(graph, 4, DistributedConfig(d_high=64))
+        base = cheong_louvain(graph, 4)
+        for assignment in (seq.assignment, dist.assignment, base.assignment):
+            assert normalized_mutual_information(assignment, truth) > 0.85
+
+    def test_distributed_tracks_sequential_across_p(self, lfr_small):
+        seq = sequential_louvain(lfr_small.graph)
+        for p in (2, 4, 8):
+            res = distributed_louvain(
+                lfr_small.graph, p, DistributedConfig(d_high=64)
+            )
+            assert res.modularity > seq.modularity - 0.03, p
+
+    def test_quality_metrics_on_real_run(self, lfr_small):
+        res = distributed_louvain(lfr_small.graph, 4, DistributedConfig(d_high=64))
+        scores = score_all(res.assignment, lfr_small.ground_truth)
+        assert scores["NMI"] > 0.8
+        assert scores["ARI"] > 0.6
+        assert scores["NVD"] < 0.25
+
+
+class TestCostModelIntegration:
+    def test_phase_times_bounded_by_total(self, web_graph):
+        res = distributed_louvain(web_graph, 4, DistributedConfig(d_high=40))
+        total = simulate_time(res.stats).total
+        phases = simulate_phase_times(res.stats)
+        assert sum(t.total for t in phases.values()) <= total * 1.0001
+        assert total > 0
+
+    def test_delegate_stage_phases_present(self, web_graph):
+        res = distributed_louvain(web_graph, 4, DistributedConfig(d_high=30))
+        assert res.partition.hub_global_ids.size > 0
+        phases = simulate_phase_times(res.stats)
+        for ph in ("s1:find_best", "s1:bcast_delegates", "s1:swap_ghost",
+                   "s1:other", "s1:merge"):
+            assert ph in phases, ph
+
+    def test_more_ranks_less_max_compute(self):
+        """Balanced partitioning: per-rank compute falls as p grows."""
+        bench = lfr_graph(800, mu=0.15, seed=21)
+        c = {}
+        for p in (2, 8):
+            res = distributed_louvain(bench.graph, p, DistributedConfig(d_high=64))
+            c[p] = res.stats.compute_per_rank().max()
+        assert c[8] < c[2]
+
+
+class TestHeuristicLadder:
+    def test_quality_ordering(self):
+        """greedy <= enhanced (+tolerance); enhanced ~ sequential."""
+        bench = lfr_graph(800, mu=0.25, seed=33)
+        seq = sequential_louvain(bench.graph)
+        qs = {}
+        for heur in ("greedy", "minlabel", "enhanced"):
+            res = distributed_louvain(
+                bench.graph,
+                8,
+                DistributedConfig(heuristic=heur, d_high=64, max_inner=40),
+            )
+            qs[heur] = res.modularity
+        assert qs["enhanced"] >= qs["greedy"] - 0.01
+        assert qs["enhanced"] >= seq.modularity - 0.05
+
+
+class TestStreamRoundtrip:
+    def test_results_serializable_via_edge_list(self, karate):
+        """Detected communities can be rewritten as a coarse graph and
+        re-clustered (dendrogram-style workflow)."""
+        from repro.core.coarsen import coarsen_graph
+
+        res = distributed_louvain(karate, 2, DistributedConfig(d_high=40))
+        coarse, dense = coarsen_graph(karate, res.assignment)
+        buf = io.StringIO()
+        write_edge_list(coarse, buf)
+        buf.seek(0)
+        coarse2 = read_edge_list(buf, n_vertices=coarse.n_vertices)
+        assert coarse2 == coarse
+        res2 = sequential_louvain(coarse2)
+        flat = res2.assignment[dense]
+        assert modularity(karate, flat) >= res.modularity - 1e-9
