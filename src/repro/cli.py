@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="hub degree threshold (default: 8 * ranks)",
     )
     p.add_argument("--resolution", type=float, default=1.0)
+    p.add_argument(
+        "--sweep-mode",
+        choices=["gauss-seidel", "vectorized"],
+        default="gauss-seidel",
+        help="local sweep kernel: per-vertex Gauss-Seidel loop or bulk "
+        "Jacobi NumPy kernel",
+    )
     p.add_argument("--sequential", action="store_true", help="run the sequential baseline instead")
     p.add_argument("--output", type=Path, default=None, help="write 'vertex community' pairs here")
     p.add_argument(
@@ -129,6 +136,7 @@ def _cmd_cluster(args) -> int:
             partitioning=args.partitioning,
             d_high=d_high,
             resolution=args.resolution,
+            sweep_mode=args.sweep_mode,
         )
         res = distributed_louvain(graph, args.ranks, cfg)
         assignment, q = res.assignment, res.modularity

@@ -49,6 +49,7 @@ class DistributedConfig:
     resolution: float = 1.0  # Reichardt-Bornholdt gamma (1.0 = paper)
     sync_mode: str = "full"  # community-state sync: "full" | "delta"
     ghost_mode: str = "full"  # ghost label exchange: "full" | "delta"
+    sweep_mode: str = "gauss-seidel"  # local sweep: "gauss-seidel" | "vectorized"
     refine: bool = False  # split internally disconnected communities
     min_q_gain: float = 1e-9  # outer-loop stopping criterion
     max_inner: int = 100  # inner iterations per level (safety valve)
@@ -68,6 +69,10 @@ class LevelReport:
     n_iterations: int
     converged: bool
     q_final: float = 0.0  # Q of the state actually kept for this level
+    # True when the outer loop rejected this level (it failed min_q_gain,
+    # so its state was thrown away and never merged); discarded levels are
+    # reported for Fig. 5 but excluded from modularity_per_level
+    discarded: bool = False
 
 
 @dataclass
@@ -134,6 +139,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig):
         resolution=cfg.resolution,
         sync_mode=cfg.sync_mode,
         ghost_mode=cfg.ghost_mode,
+        sweep_mode=cfg.sweep_mode,
     )
     outcome = clustering.run()
     reports.append(
@@ -167,6 +173,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig):
             resolution=cfg.resolution,
             sync_mode=cfg.sync_mode,
             ghost_mode=cfg.ghost_mode,
+            sweep_mode=cfg.sweep_mode,
         )
         outcome = clustering.run()
         q = outcome.q_final
@@ -186,6 +193,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig):
         # heuristic, degrading) level is discarded and the final
         # assignment is exactly the state whose Q we report.
         if q - q_prev < cfg.min_q_gain:
+            reports[-1].discarded = True
             break
         q_prev = q
         with comm.phase("s2:merge"):
@@ -242,7 +250,7 @@ def distributed_louvain(
 
     reports = spmd.results[0][1]  # Q histories are allreduced -> identical
     q_final = spmd.results[0][2]
-    q_per_level = [r.q_final for r in reports if r.q_history]
+    q_per_level = [r.q_final for r in reports if r.q_history and not r.discarded]
 
     if cfg.refine:
         from repro.core.modularity import modularity as compute_q

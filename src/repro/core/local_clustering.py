@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.heuristics import Candidate, MoveHeuristic
+from repro.core.sweep_kernel import VECTOR_HEURISTICS, bulk_best_moves
 from repro.partition.distgraph import LocalGraph
 from repro.runtime.comm import SimComm
 
@@ -71,11 +72,18 @@ class LocalClustering:
         resolution: float = 1.0,
         sync_mode: str = "full",
         ghost_mode: str = "full",
+        sweep_mode: str = "gauss-seidel",
     ) -> None:
         if sync_mode not in ("full", "delta"):
             raise ValueError("sync_mode must be 'full' or 'delta'")
         if ghost_mode not in ("full", "delta"):
             raise ValueError("ghost_mode must be 'full' or 'delta'")
+        if sweep_mode not in ("gauss-seidel", "vectorized"):
+            raise ValueError("sweep_mode must be 'gauss-seidel' or 'vectorized'")
+        # the bulk kernel encodes the selection rule of each registered
+        # heuristic; custom heuristics fall back to the scalar loop
+        if sweep_mode == "vectorized" and heuristic.name not in VECTOR_HEURISTICS:
+            sweep_mode = "gauss-seidel"
         self.comm = comm
         self.lg = lg
         self.heuristic = heuristic
@@ -86,6 +94,7 @@ class LocalClustering:
         self.resolution = resolution
         self.sync_mode = sync_mode
         self.ghost_mode = ghost_mode
+        self.sweep_mode = sweep_mode
         # delta-sync state: this rank's last reported contributions and the
         # persistent owner-side aggregates it maintains across iterations
         self._prev_contrib: dict[int, tuple[float, float, float]] | None = None
@@ -93,6 +102,8 @@ class LocalClustering:
         self._subscribers: dict[int, set[int]] = {}
         # delta-ghost state: labels last sent to each subscriber peer
         self._prev_ghost_sent: dict[int, np.ndarray] = {}
+        # vectorized-sweep iteration parity (drives the oscillation damper)
+        self._vec_iter = 0
         self.two_m = 2.0 * lg.m_global if lg.m_global > 0 else 1.0
 
         self.comm_of = lg.global_ids.astype(np.int64).copy()
@@ -122,12 +133,15 @@ class LocalClustering:
         )
         self._is_self_entry = lg.indices == self._entry_rows
         # plain-list views of the immutable CSR: scalar indexing of numpy
-        # arrays dominates the sweep cost otherwise (~3x slower)
-        self._idx_list: list[int] = lg.indices.tolist()
-        self._w_list: list[float] = lg.weights.tolist()
-        self._indptr_list: list[int] = lg.indptr.tolist()
-        self._wdeg_list: list[float] = lg.row_weighted_degree.tolist()
+        # arrays dominates the scalar sweep cost otherwise (~3x slower).
+        # The vectorized sweep works on the arrays directly and only needs
+        # the label list for _apply_move bookkeeping.
         self._cof_list: list[int] = self.comm_of.tolist()
+        if self.sweep_mode == "gauss-seidel":
+            self._idx_list: list[int] = lg.indices.tolist()
+            self._w_list: list[float] = lg.weights.tolist()
+            self._indptr_list: list[int] = lg.indptr.tolist()
+            self._wdeg_list: list[float] = lg.row_weighted_degree.tolist()
 
     # ------------------------------------------------------------------
     # Phase 4: aggregate synchronisation + modularity
@@ -430,11 +444,16 @@ class LocalClustering:
             )
 
     def find_best_pass(self) -> tuple[int, np.ndarray, np.ndarray]:
-        """Sweep all row vertices.  Owned vertices move immediately
-        (Gauss–Seidel within the rank); hub moves become proposals.
+        """Sweep all row vertices.  Under ``gauss-seidel`` owned vertices
+        move immediately (later vertices see earlier moves); under
+        ``vectorized`` every row is evaluated against a frozen snapshot in
+        one bulk kernel call and owned moves apply afterwards (Jacobi).
+        Hub moves become proposals either way.
 
         Returns ``(n_owned_moves, hub_gains, hub_targets)``.
         """
+        if self.sweep_mode == "vectorized":
+            return self._find_best_pass_vectorized()
         lg = self.lg
         moved = 0
         hub_gain = np.zeros(lg.n_hubs)
@@ -460,6 +479,75 @@ class LocalClustering:
                 hub_gain[j] = gain - stay
                 hub_target[j] = float(chosen)
         return moved, hub_gain, hub_target
+
+    def _find_best_pass_vectorized(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Bulk Jacobi sweep via :mod:`repro.core.sweep_kernel`."""
+        lg = self.lg
+        # identical work accounting to the scalar sweep: one unit per
+        # scanned directed entry (empty rows contribute zero either way)
+        self.comm.add_compute(float(lg.indices.size))
+        chosen, gain, stay = bulk_best_moves(
+            entry_rows=self._entry_rows,
+            indices=lg.indices,
+            weights=lg.weights,
+            comm_of=self.comm_of,
+            row_wdeg=lg.row_weighted_degree,
+            n_rows=lg.n_rows,
+            sigma_tot=self.sigma_tot,
+            csize=self.csize,
+            local_members=self.local_members,
+            two_m=self.two_m,
+            resolution=self.resolution,
+            theta=self.theta,
+            heuristic_name=self.heuristic.name,
+        )
+        cu = self.comm_of[: lg.n_rows]
+
+        # owned moves: decide against the snapshot, then apply in bulk.
+        # Two dampers keep synchronous application from mass-oscillating
+        # (whole communities trading labels every iteration, the Jacobi
+        # failure mode Gauss–Seidel ordering never exhibits):
+        #
+        # * Lu et al.'s singleton swap gate — a singleton may merge into
+        #   another singleton only toward the smaller label;
+        # * a direction gate — on even iterations only label-decreasing
+        #   moves apply; gated moves are *deferred* (still counted, so the
+        #   level cannot falsely report convergence) and get their chance
+        #   on the next, unrestricted iteration.  A two-community swap
+        #   cycle then executes only its down-label half, after which the
+        #   re-evaluated state has nothing to swap back.
+        down_only = self._vec_iter % 2 == 0
+        self._vec_iter += 1
+        movers = np.flatnonzero(chosen[: lg.n_owned] != cu[: lg.n_owned])
+        applied: list[tuple[int, int]] = []
+        deferred = 0
+        for u in movers.tolist():
+            c_old = int(cu[u])
+            tgt = int(chosen[u])
+            if (
+                self.csize.get(c_old, 1) == 1
+                and self.csize.get(tgt, 1) == 1
+                and tgt > c_old
+            ):
+                continue
+            if down_only and tgt > c_old:
+                deferred += 1
+                continue
+            applied.append((u, tgt))
+        for u, tgt in applied:
+            self._apply_move(u, tgt)
+
+        hub_gain = np.zeros(lg.n_hubs)
+        if lg.n_hubs:
+            hub_choice = chosen[lg.n_owned :]
+            hub_cu = cu[lg.n_owned :]
+            hub_target = hub_cu.astype(np.float64)
+            prop = hub_choice != hub_cu
+            hub_gain[prop] = (gain - stay)[lg.n_owned :][prop]
+            hub_target[prop] = hub_choice[prop].astype(np.float64)
+        else:
+            hub_target = _EMPTY_F64
+        return len(applied) + deferred, hub_gain, hub_target
 
     # ------------------------------------------------------------------
     # Phase 2: delegate consensus

@@ -124,9 +124,9 @@ def sequential_louvain(
     q_prev = compute_q(graph, np.arange(graph.n_vertices), resolution)
 
     for _level in range(max_levels):
-        record = lambda a, g=current: q_per_iter.append(
-            compute_q(g, a, resolution)
-        )
+        def record(a, g=current):
+            q_per_iter.append(compute_q(g, a, resolution))
+
         assignment, sweeps = louvain_one_level(
             current,
             theta=theta,

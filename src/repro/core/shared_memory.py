@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.coarsen import coarsen_graph
 from repro.core.modularity import modularity
+from repro.core.sweep_kernel import jacobi_minlabel_sweep
 from repro.graph.csr import CSRGraph
 
 __all__ = ["shared_memory_louvain", "SharedMemoryResult"]
@@ -41,7 +42,11 @@ class SharedMemoryResult:
 
 
 def _jacobi_one_level(
-    graph: CSRGraph, theta: float, max_sweeps: int, stall_patience: int
+    graph: CSRGraph,
+    theta: float,
+    max_sweeps: int,
+    stall_patience: int,
+    sweep_mode: str = "loop",
 ) -> tuple[np.ndarray, int, float]:
     """Jacobi sweeps with the minimum-label rule until stable."""
     n = graph.n_vertices
@@ -57,6 +62,22 @@ def _jacobi_one_level(
     sweeps = 0
     work = 0.0
     for _sweep in range(max_sweeps):
+        if sweep_mode == "vectorized":
+            comm, moved = jacobi_minlabel_sweep(
+                indptr, indices, weights, wdeg, comm, two_m, theta
+            )
+            work += float(indices.size)
+            sweeps += 1
+            q = modularity(graph, comm)
+            if q > best_q + theta:
+                best_q = q
+                best_comm = comm.copy()
+                stall = 0
+            else:
+                stall += 1
+            if moved == 0 or stall >= stall_patience:
+                break
+            continue
         # frozen snapshot: sigma_tot per community of the CURRENT state
         sigma_tot: dict[int, float] = {}
         csize: dict[int, int] = {}
@@ -122,11 +143,22 @@ def shared_memory_louvain(
     max_sweeps: int = 100,
     stall_patience: int = 3,
     t_unit: float = 1.0e-8,
+    sweep_mode: str = "loop",
 ) -> SharedMemoryResult:
     """Multi-level Jacobi/min-label Louvain with a thread-scaled time
-    estimate."""
+    estimate.
+
+    ``sweep_mode="vectorized"`` runs each Jacobi sweep through the bulk
+    NumPy kernel (:func:`repro.core.sweep_kernel.jacobi_minlabel_sweep`)
+    instead of the per-vertex loop; near-tie resolution differs slightly
+    (the kernel takes the global minimum label among top candidates, the
+    loop the first minimum encountered in scan order), so assignments may
+    differ while quality is equivalent.
+    """
     if n_threads < 1:
         raise ValueError("n_threads must be >= 1")
+    if sweep_mode not in ("loop", "vectorized"):
+        raise ValueError("sweep_mode must be 'loop' or 'vectorized'")
     current = graph
     levels: list[np.ndarray] = []
     q_per_level: list[float] = []
@@ -135,7 +167,7 @@ def shared_memory_louvain(
     q_prev = modularity(graph, np.arange(graph.n_vertices))
     for _level in range(max_levels):
         assignment, sweeps, work = _jacobi_one_level(
-            current, theta, max_sweeps, stall_patience
+            current, theta, max_sweeps, stall_patience, sweep_mode
         )
         total_work += work
         coarse, dense = coarsen_graph(current, assignment)

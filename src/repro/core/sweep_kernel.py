@@ -1,0 +1,274 @@
+"""Vectorized (Jacobi-style) local-sweep kernels.
+
+The per-vertex Python loop in
+:meth:`repro.core.local_clustering.LocalClustering._evaluate_vertex` scans
+one CSR row at a time, which makes the stage-1/stage-2 sweep the dominant
+cost of the whole simulation.  This module expresses the identical Eq. 4
+move evaluation as *bulk* NumPy array operations over all rows at once:
+
+1. **Pair aggregation** — the per-(row, neighbour-community) link weights
+   ``w(u -> c)`` are computed for every row simultaneously by lexsorting
+   the CSR entries on ``(row, community)`` and segment-reducing with
+   :func:`numpy.add.reduceat`;
+2. **Gain evaluation** — Eq. 4 gains against the cached ``sigma_tot`` are
+   one broadcasted expression over the aggregated pairs;
+3. **Heuristic-gated argmax** — the greedy / minlabel / enhanced
+   tie-breaking rules of :mod:`repro.core.heuristics` are expressed as
+   vectorized sort keys (the enhanced rule's local > remote-multi >
+   remote-singleton preference becomes an integer ``category * L + label``
+   key) reduced per row with :func:`numpy.minimum.reduceat`, followed by
+   the same anti-swap vetoes applied to the winning candidate.
+
+Semantics: one bulk pass evaluates *every* row against a frozen snapshot
+of the community state — Jacobi iteration — whereas the scalar loop
+applies owned moves immediately so later vertices see them — Gauss–Seidel.
+Both converge to equivalent modularity (the outer loop's stall patience and
+best-state tracking absorb Jacobi oscillation), but trajectories differ;
+see ``docs/ALGORITHM.md``.  To keep within-rank Jacobi updates from
+ping-ponging, bulk application adds Lu et al.'s singleton swap gate (a
+singleton may merge into another singleton only toward a smaller label) —
+the same rule the shared-memory baseline uses, and a no-op under
+Gauss–Seidel ordering.
+
+:func:`bulk_best_moves` serves the distributed sweep (dict-backed, possibly
+stale aggregates); :func:`jacobi_minlabel_sweep` is the dense variant used
+by the shared-memory baseline, where exact aggregates come from
+``np.bincount``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "VECTOR_HEURISTICS",
+    "aggregate_neighbor_communities",
+    "bulk_best_moves",
+    "jacobi_minlabel_sweep",
+]
+
+# heuristics with a vectorized selection rule (all registered ones today);
+# LocalClustering falls back to the scalar loop for anything else
+VECTOR_HEURISTICS = frozenset({"greedy", "minlabel", "enhanced"})
+
+_I64_MAX = np.iinfo(np.int64).max
+
+
+def aggregate_neighbor_communities(
+    entry_rows: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    comm_of: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-(row, neighbour-community) link weights over a CSR.
+
+    Self-edges are excluded, matching the scalar sweep.  Returns
+    ``(rows, labels, w)`` with ``rows`` sorted ascending and each
+    ``(row, label)`` pair unique.
+    """
+    mask = indices != entry_rows
+    rows = entry_rows[mask]
+    labels = comm_of[indices[mask]]
+    w = weights[mask]
+    if rows.size == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return empty_i, empty_i, np.zeros(0, dtype=np.float64)
+    order = np.lexsort((labels, rows))
+    rows = rows[order]
+    labels = labels[order]
+    w = w[order]
+    boundary = np.empty(rows.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (rows[1:] != rows[:-1]) | (labels[1:] != labels[:-1])
+    starts = np.flatnonzero(boundary)
+    return rows[starts], labels[starts], np.add.reduceat(w, starts)
+
+
+def _segment_starts(sorted_rows: np.ndarray) -> np.ndarray:
+    """Start offsets of the per-row segments of an ascending row array."""
+    if sorted_rows.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    boundary = np.empty(sorted_rows.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_rows[1:] != sorted_rows[:-1]
+    return np.flatnonzero(boundary)
+
+
+def bulk_best_moves(
+    *,
+    entry_rows: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    comm_of: np.ndarray,
+    row_wdeg: np.ndarray,
+    n_rows: int,
+    sigma_tot: dict[int, float],
+    csize: dict[int, int],
+    local_members: dict[int, int],
+    two_m: float,
+    resolution: float,
+    theta: float,
+    heuristic_name: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Heuristic-gated best move for every row vertex at once.
+
+    Evaluates the identical quantities as
+    ``LocalClustering._evaluate_vertex`` — Eq. 4 gains against the cached
+    (possibly stale) ``sigma_tot`` / ``csize`` / ``local_members`` dicts —
+    against one frozen snapshot of ``comm_of``.
+
+    Returns ``(chosen, chosen_gain, stay_gain)`` arrays of length
+    ``n_rows``; ``chosen[u] == comm_of[u]`` means "stay".  No caches are
+    mutated.
+    """
+    if heuristic_name not in VECTOR_HEURISTICS:
+        raise ValueError(
+            f"no vectorized rule for heuristic {heuristic_name!r}; "
+            f"supported: {sorted(VECTOR_HEURISTICS)}"
+        )
+    cu = comm_of[:n_rows].astype(np.int64, copy=False)
+    pr, pc, pw = aggregate_neighbor_communities(
+        entry_rows, indices, weights, comm_of
+    )
+
+    # one dict lookup per *unique* referenced label, then pure array math
+    labels_all = np.unique(np.concatenate([pc, cu]))
+    lab_list = labels_all.tolist()
+    n_lab = len(lab_list)
+    st = np.fromiter(
+        (sigma_tot.get(lab, 0.0) for lab in lab_list), np.float64, count=n_lab
+    )
+    st_known = np.fromiter(
+        (lab in sigma_tot for lab in lab_list), bool, count=n_lab
+    )
+    sz = np.fromiter(
+        (csize.get(lab, 1) for lab in lab_list), np.int64, count=n_lab
+    )
+    loc = np.fromiter(
+        (local_members.get(lab, 0) > 0 for lab in lab_list), bool, count=n_lab
+    )
+    pos_cu = np.searchsorted(labels_all, cu)
+    pos_pc = np.searchsorted(labels_all, pc)
+
+    # stay gain: links into the own community minus the Eq. 4 penalty
+    # against sigma_tot(cu) without u (missing label defaults to wu, as in
+    # the scalar sweep)
+    stay_w = np.zeros(n_rows)
+    is_stay = pc == cu[pr]
+    stay_w[pr[is_stay]] = pw[is_stay]
+    st_cu = np.where(st_known[pos_cu], st[pos_cu], row_wdeg) - row_wdeg
+    stay_gain = stay_w - resolution * st_cu * row_wdeg / two_m
+
+    chosen = cu.copy()
+    chosen_gain = stay_gain.copy()
+
+    cand = ~is_stay
+    cpr = pr[cand]
+    cpc = pc[cand]
+    cpos = pos_pc[cand]
+    cgain = pw[cand] - resolution * st[cpos] * row_wdeg[cpr] / two_m
+    if cpr.size == 0:
+        return chosen, chosen_gain, stay_gain
+
+    starts = _segment_starts(cpr)
+    improving = cgain > stay_gain[cpr] + theta
+    gains_masked = np.where(improving, cgain, -np.inf)
+    row_best = np.full(n_rows, -np.inf)
+    row_best[cpr[starts]] = np.maximum.reduceat(gains_masked, starts)
+    top = improving & (cgain >= row_best[cpr] - theta)
+
+    # strategy _pick as an integer sort key: smaller key == preferred.
+    # greedy/minlabel pick the minimum label; enhanced prefixes the label
+    # with its category (local=0, remote multi-member=1, remote singleton=2)
+    if heuristic_name == "enhanced":
+        label_span = int(labels_all[-1]) + 1 if n_lab else 1
+        category = np.where(loc[cpos], 0, np.where(sz[cpos] > 1, 1, 2))
+        key = category.astype(np.int64) * label_span + cpc
+    else:
+        key = cpc
+    key_masked = np.where(top, key, _I64_MAX)
+    row_min = np.full(n_rows, _I64_MAX, dtype=np.int64)
+    row_min[cpr[starts]] = np.minimum.reduceat(key_masked, starts)
+    # (row, label) pairs are unique and the key is injective in the label,
+    # so each moving row matches exactly one winning candidate
+    winner = np.flatnonzero(top & (key_masked == row_min[cpr]))
+
+    wrow = cpr[winner]
+    wlab = cpc[winner]
+    wloc = loc[cpos[winner]]
+    wsz = sz[cpos[winner]]
+
+    # strategy _veto on the winning candidate
+    if heuristic_name == "minlabel":
+        veto = ~wloc & (wlab > cu[wrow])
+    elif heuristic_name == "enhanced":
+        veto = ~wloc & (wsz == 1) & (wlab > cu[wrow])
+    else:  # greedy
+        veto = np.zeros(wrow.size, dtype=bool)
+
+    keep = ~veto
+    chosen[wrow[keep]] = wlab[keep]
+    chosen_gain[wrow[keep]] = cgain[winner][keep]
+    return chosen, chosen_gain, stay_gain
+
+
+def jacobi_minlabel_sweep(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    wdeg: np.ndarray,
+    comm: np.ndarray,
+    two_m: float,
+    theta: float,
+) -> tuple[np.ndarray, int]:
+    """One vectorized Jacobi sweep with Lu et al.'s min-label rule.
+
+    Dense counterpart of :func:`bulk_best_moves` for the shared-memory
+    baseline: labels live in ``[0, n)`` so exact ``sigma_tot`` / community
+    sizes come straight from ``np.bincount`` — no dict indirection, no
+    staleness.  Ties among near-equal gains go to the smallest label and
+    singleton-to-singleton moves toward larger labels are gated, exactly
+    the safeguards of ``repro.core.shared_memory._jacobi_one_level``.
+
+    Returns ``(new_comm, n_moved)``; ``comm`` is not mutated.
+    """
+    n = int(comm.size)
+    comm = comm.astype(np.int64, copy=False)
+    sigma_tot = np.bincount(comm, weights=wdeg, minlength=n)
+    csize = np.bincount(comm, minlength=n)
+    entry_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    pr, pc, pw = aggregate_neighbor_communities(
+        entry_rows, indices, weights, comm
+    )
+
+    stay_w = np.zeros(n)
+    is_stay = pc == comm[pr]
+    stay_w[pr[is_stay]] = pw[is_stay]
+    stay_gain = stay_w - (sigma_tot[comm] - wdeg) * wdeg / two_m
+
+    cand = ~is_stay
+    cpr = pr[cand]
+    cpc = pc[cand]
+    cgain = pw[cand] - sigma_tot[cpc] * wdeg[cpr] / two_m
+    new_comm = comm.copy()
+    if cpr.size == 0:
+        return new_comm, 0
+
+    starts = _segment_starts(cpr)
+    improving = cgain > stay_gain[cpr] + theta
+    gains_masked = np.where(improving, cgain, -np.inf)
+    row_best = np.full(n, -np.inf)
+    row_best[cpr[starts]] = np.maximum.reduceat(gains_masked, starts)
+    top = improving & (cgain >= row_best[cpr] - theta)
+
+    key_masked = np.where(top, cpc, _I64_MAX)
+    row_min = np.full(n, _I64_MAX, dtype=np.int64)
+    row_min[cpr[starts]] = np.minimum.reduceat(key_masked, starts)
+    winner = np.flatnonzero(top & (key_masked == row_min[cpr]))
+
+    wrow = cpr[winner]
+    wlab = cpc[winner]
+    gate = (csize[comm[wrow]] == 1) & (csize[wlab] == 1) & (wlab > comm[wrow])
+    keep = ~gate
+    new_comm[wrow[keep]] = wlab[keep]
+    return new_comm, int(keep.sum())

@@ -19,6 +19,11 @@ Byte accounting (see :mod:`repro.runtime.stats`):
   algorithms every real MPI uses — this matters because the paper's
   "Broadcast Delegates" step is a collective whose cost it argues is
   marginal.
+
+Two invariants hold everywhere: a rank "sending" to itself contributes
+nothing (self-deliveries never touch the wire), and a *message* is counted
+per peer transfer only when the payload is non-empty — the alltoall rule,
+applied uniformly to every collective.
 """
 
 from __future__ import annotations
@@ -209,11 +214,10 @@ class SimComm:
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:
             raise CommError(f"send: bad destination rank {dest}")
-        if dest == self.rank:
-            # self-sends are legal in MPI; deliver through the mailbox
-            pass
-        nbytes = payload_nbytes(obj)
-        self.stats.add_sent(nbytes, self._phase)
+        # self-sends are legal in MPI and deliver through the mailbox, but
+        # they never touch the wire, so they must not count as traffic
+        if dest != self.rank:
+            self.stats.add_sent(payload_nbytes(obj), self._phase)
         self._world.put(self.rank, dest, tag, obj)
 
     def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
@@ -222,7 +226,8 @@ class SimComm:
         payload = self._world.take(
             source, self.rank, tag, timeout or self._world.timeout
         )
-        self.stats.add_recv(payload_nbytes(payload), self._phase)
+        if source != self.rank:
+            self.stats.add_recv(payload_nbytes(payload), self._phase)
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -244,7 +249,7 @@ class SimComm:
                 ok = True
             else:
                 ok, payload = self._world.try_take(source, self.rank, tag)
-            if ok:
+            if ok and source != self.rank:
                 self.stats.add_recv(payload_nbytes(payload), self._phase)
             return ok, payload
 
@@ -265,7 +270,9 @@ class SimComm:
     def allgather(self, value: Any) -> list[Any]:
         nbytes = payload_nbytes(value)
         out = self._world.exchange(self.rank, self._next_gen(), value)
-        self.stats.add_sent(nbytes * (self.size - 1), self._phase, self.size - 1)
+        # alltoall rule: zero-byte payloads put no messages on the wire
+        n_msgs = self.size - 1 if nbytes > 0 else 0
+        self.stats.add_sent(nbytes * (self.size - 1), self._phase, n_msgs)
         self.stats.add_recv(
             sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
             self._phase,
@@ -308,7 +315,9 @@ class SimComm:
         nbytes = payload_nbytes(result)
         if self.size > 1:
             # binomial-tree volume: every rank forwards at most log2(p) copies
-            self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            self.stats.add_sent(
+                nbytes * log_p, self._phase, log_p if nbytes > 0 else 0
+            )
             self.stats.add_recv(nbytes, self._phase)
         self.stats.close_superstep(self._phase)
         return result
@@ -320,7 +329,9 @@ class SimComm:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(value)
             # recursive-doubling volume
-            self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            self.stats.add_sent(
+                nbytes * log_p, self._phase, log_p if nbytes > 0 else 0
+            )
             self.stats.add_recv(nbytes * log_p, self._phase)
         self.stats.close_superstep(self._phase)
         return result
@@ -332,7 +343,7 @@ class SimComm:
         if self.size > 1:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(value)
-            self.stats.add_sent(nbytes, self._phase, 1)
+            self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
             if self.rank == root:
                 self.stats.add_recv(nbytes * log_p, self._phase)
         self.stats.close_superstep(self._phase)
@@ -345,7 +356,8 @@ class SimComm:
             raise CommError(f"gather: bad root {root}")
         out = self._world.exchange(self.rank, self._next_gen(), value)
         if self.rank != root:
-            self.stats.add_sent(payload_nbytes(value), self._phase)
+            nbytes = payload_nbytes(value)
+            self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
         else:
             self.stats.add_recv(
                 sum(payload_nbytes(v) for i, v in enumerate(out) if i != root),
@@ -363,10 +375,11 @@ class SimComm:
                     f"scatter: root must supply exactly {self.size} payloads"
                 )
             payload = list(values)
+            sizes = [
+                payload_nbytes(v) for i, v in enumerate(values) if i != root
+            ]
             self.stats.add_sent(
-                sum(payload_nbytes(v) for i, v in enumerate(values) if i != root),
-                self._phase,
-                self.size - 1,
+                sum(sizes), self._phase, sum(1 for s in sizes if s > 0)
             )
         else:
             payload = None

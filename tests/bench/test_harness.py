@@ -1,8 +1,5 @@
 """Tests for the experiment harness (small configurations only)."""
 
-import numpy as np
-import pytest
-
 from repro.bench import format_table, harness
 
 

@@ -165,3 +165,34 @@ class TestEdgeCases:
         res = distributed_louvain(g, 4, DistributedConfig(d_high=8))
         assert res.partition.hub_global_ids.size == 1
         assert np.isclose(res.modularity, modularity(g, res.assignment))
+
+
+class TestModularityPerLevel:
+    """A level rejected by min_q_gain is discarded (never merged), so it
+    must not leak into modularity_per_level — whose last entry must equal
+    the Q of the assignment actually returned (refine=False)."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_last_entry_equals_result_modularity(self, web_graph, p):
+        res = distributed_louvain(web_graph, p, CFG)
+        assert res.modularity_per_level[-1] == pytest.approx(res.modularity)
+
+    def test_last_entry_equals_result_modularity_lfr(self, lfr_small):
+        res = distributed_louvain(lfr_small.graph, 4, CFG)
+        assert res.modularity_per_level[-1] == pytest.approx(res.modularity)
+
+    def test_discarded_levels_flagged_and_excluded(self, web_graph):
+        res = distributed_louvain(web_graph, 4, CFG)
+        kept = [
+            r for r in res.levels if r.q_history and not r.discarded
+        ]
+        assert len(res.modularity_per_level) == len(kept)
+        for r in res.levels:
+            if r.discarded:
+                # a discarded level is always the last report of the run
+                assert r.level == res.levels[-1].level
+
+    def test_vectorized_mode_agrees(self, web_graph):
+        cfg = DistributedConfig(d_high=40, sweep_mode="vectorized")
+        res = distributed_louvain(web_graph, 4, cfg)
+        assert res.modularity_per_level[-1] == pytest.approx(res.modularity)

@@ -1,7 +1,6 @@
 """Tests for the sequential Louvain baseline."""
 
 import numpy as np
-import pytest
 
 from repro.core import sequential_louvain
 from repro.core.modularity import modularity

@@ -5,7 +5,6 @@ throughout; these tests pin the weighted semantics end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     DistributedConfig,

@@ -2,7 +2,6 @@
 
 import io
 
-import numpy as np
 import pytest
 
 from repro.graph.io import read_edge_list, write_edge_list

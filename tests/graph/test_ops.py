@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import path_graph, ring_of_cliques
+from repro.graph.generators import path_graph
 from repro.graph.ops import (
     connected_components,
     degree_histogram,

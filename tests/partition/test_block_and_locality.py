@@ -5,7 +5,7 @@ import pytest
 
 from repro.graph.generators import lfr_graph, path_graph
 from repro.graph.ops import locality_relabel, permute_vertices
-from repro.partition.oned import block_oned_entry_ranks, oned_partition
+from repro.partition.oned import block_oned_entry_ranks
 
 
 class TestBlockEntryRanks:

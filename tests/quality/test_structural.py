@@ -1,10 +1,9 @@
 """Tests for graph-structural quality metrics and VI."""
 
 import numpy as np
-import pytest
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import complete_graph, ring_of_cliques, two_triangles_bridge
+from repro.graph.generators import ring_of_cliques, two_triangles_bridge
 from repro.quality.structural import (
     coverage,
     mean_conductance,
@@ -121,5 +120,8 @@ class TestVariationOfInformation:
             x = rng.integers(0, 4, 60)
             y = rng.integers(0, 4, 60)
             z = rng.integers(0, 4, 60)
-            vi = lambda a, b: variation_of_information(a, b, normalized=False)
+
+            def vi(a, b):
+                return variation_of_information(a, b, normalized=False)
+
             assert vi(x, z) <= vi(x, y) + vi(y, z) + 1e-9

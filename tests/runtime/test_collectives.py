@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.runtime import reducers, run_spmd
-from repro.runtime.comm import CommError
 
 
 def spmd(p, fn, **kw):
@@ -141,3 +140,70 @@ class TestSingleRank:
             return True
 
         assert spmd(1, prog) == [True]
+
+
+class TestMessageCounts:
+    """Message accounting follows one rule everywhere (the alltoall rule):
+    a message is counted per peer transfer only when its payload is
+    non-empty.  Counts below are pinned for p=4 (log2 p = 2)."""
+
+    def _stats(self, p, fn):
+        return run_spmd(p, fn, timeout=20.0).stats
+
+    def test_alltoall_counts_only_nonempty_peers(self):
+        def prog(c):
+            payloads = [
+                np.zeros(2) if i == (c.rank + 1) % c.size else np.zeros(0)
+                for i in range(c.size)
+            ]
+            c.alltoall(payloads)
+
+        stats = self._stats(4, prog)
+        assert [r.total_messages_sent for r in stats.ranks] == [1, 1, 1, 1]
+
+    def test_allgather_empty_payload_zero_messages(self):
+        stats = self._stats(4, lambda c: c.allgather(np.zeros(0)))
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
+
+    def test_allgather_nonempty_counts_peers(self):
+        stats = self._stats(4, lambda c: c.allgather(np.zeros(1)))
+        assert [r.total_messages_sent for r in stats.ranks] == [3, 3, 3, 3]
+
+    def test_allreduce_counts(self):
+        stats = self._stats(4, lambda c: c.allreduce(np.zeros(2)))
+        assert [r.total_messages_sent for r in stats.ranks] == [2, 2, 2, 2]
+        stats = self._stats(4, lambda c: c.allreduce(np.zeros(0)))
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
+
+    def test_bcast_counts(self):
+        stats = self._stats(
+            4, lambda c: c.bcast(np.zeros(2) if c.rank == 0 else None)
+        )
+        assert [r.total_messages_sent for r in stats.ranks] == [2, 2, 2, 2]
+        stats = self._stats(
+            4, lambda c: c.bcast(np.zeros(0) if c.rank == 0 else None)
+        )
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
+
+    def test_reduce_counts(self):
+        stats = self._stats(4, lambda c: c.reduce(np.zeros(2)))
+        assert [r.total_messages_sent for r in stats.ranks] == [1, 1, 1, 1]
+        stats = self._stats(4, lambda c: c.reduce(np.zeros(0)))
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
+
+    def test_gather_counts(self):
+        stats = self._stats(4, lambda c: c.gather(np.zeros(2)))
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 1, 1, 1]
+        stats = self._stats(4, lambda c: c.gather(np.zeros(0)))
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
+
+    def test_scatter_counts_only_nonempty_peers(self):
+        def prog(c):
+            data = None
+            if c.rank == 0:
+                data = [np.zeros(2) if i % 2 else np.zeros(0) for i in range(4)]
+            c.scatter(data, root=0)
+
+        stats = self._stats(4, prog)
+        # root sends to peers 1 and 3 (non-empty), skips 2 (empty) and self
+        assert [r.total_messages_sent for r in stats.ranks] == [2, 0, 0, 0]

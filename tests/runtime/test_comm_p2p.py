@@ -130,3 +130,49 @@ class TestDeterminism:
         a = spmd(4, prog)
         b = spmd(4, prog)
         assert a == b
+
+
+class TestSelfMessageAccounting:
+    """Rank->self messages deliver but never touch the wire: they must add
+    0 bytes and 0 messages to either counter (Fig. 6/8 ground truth)."""
+
+    def test_self_send_adds_no_traffic(self):
+        def prog(c):
+            c.send(np.zeros(16), dest=c.rank)  # 128B payload, zero wire
+            got = c.recv(source=c.rank)
+            c.barrier()
+            return int(got.size)
+
+        run = run_spmd(2, prog, timeout=10.0)
+        assert run.results == [16, 16]  # still delivered
+        for r in run.stats.ranks:
+            assert r.total_bytes_sent == 0
+            assert r.total_bytes_recv == 0
+            assert r.total_messages_sent == 0
+
+    def test_self_isend_irecv_adds_no_traffic(self):
+        def prog(c):
+            req = c.isend(np.zeros(4), dest=c.rank)
+            req.wait()
+            got = c.irecv(source=c.rank).wait()
+            c.barrier()
+            return int(got.size)
+
+        run = run_spmd(2, prog, timeout=10.0)
+        assert run.results == [4, 4]
+        for r in run.stats.ranks:
+            assert r.total_bytes_sent == 0
+            assert r.total_bytes_recv == 0
+
+    def test_peer_send_still_counted(self):
+        def prog(c):
+            peer = (c.rank + 1) % c.size
+            c.send(np.zeros(16), dest=peer)
+            c.recv(source=(c.rank - 1) % c.size)
+            c.barrier()
+
+        run = run_spmd(2, prog, timeout=10.0)
+        for r in run.stats.ranks:
+            assert r.total_bytes_sent == 128
+            assert r.total_bytes_recv == 128
+            assert r.total_messages_sent == 1

@@ -1,7 +1,6 @@
 """Additional engine behaviour tests."""
 
 import numpy as np
-import pytest
 
 from repro.runtime import run_spmd
 from repro.runtime.engine import SPMDResult

@@ -9,7 +9,6 @@ world is unusable afterwards only in documented ways.
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import DistributedConfig, distributed_louvain

@@ -1,7 +1,6 @@
 """Tests for traffic/compute accounting."""
 
 import numpy as np
-import pytest
 
 from repro.runtime import payload_nbytes, run_spmd
 from repro.runtime.stats import RankStats

@@ -3,7 +3,6 @@
 import io
 
 import numpy as np
-import pytest
 
 from repro import (
     DistributedConfig,
@@ -12,7 +11,7 @@ from repro import (
     modularity,
     sequential_louvain,
 )
-from repro.graph.generators import lfr_graph, planted_partition
+from repro.graph.generators import lfr_graph
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.quality import normalized_mutual_information, score_all
 from repro.runtime.costmodel import simulate_phase_times, simulate_time
