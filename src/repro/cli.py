@@ -58,6 +58,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="local sweep kernel: per-vertex Gauss-Seidel loop or bulk "
         "Jacobi NumPy kernel",
     )
+    p.add_argument(
+        "--checkpoint-path",
+        type=Path,
+        default=None,
+        help="persist a recovery checkpoint (.npz) after completed levels",
+    )
+    p.add_argument(
+        "--checkpoint-every-level",
+        type=int,
+        default=1,
+        metavar="K",
+        help="checkpoint cadence in levels (with --checkpoint-path)",
+    )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help="supervise the run: on a failed rank, resume from the last "
+        "checkpoint (up to --max-retries times)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=3, help="retry budget for --recover"
+    )
+    p.add_argument(
+        "--checksums",
+        action="store_true",
+        help="verify point-to-point payload checksums at recv",
+    )
     p.add_argument("--sequential", action="store_true", help="run the sequential baseline instead")
     p.add_argument("--output", type=Path, default=None, help="write 'vertex community' pairs here")
     p.add_argument(
@@ -137,8 +164,28 @@ def _cmd_cluster(args) -> int:
             d_high=d_high,
             resolution=args.resolution,
             sweep_mode=args.sweep_mode,
+            checksums=args.checksums,
+            checkpoint_path=(
+                str(args.checkpoint_path) if args.checkpoint_path else None
+            ),
+            checkpoint_every_level=(
+                args.checkpoint_every_level if args.checkpoint_path else 0
+            ),
         )
-        res = distributed_louvain(graph, args.ranks, cfg)
+        if args.recover:
+            from repro.core import run_with_recovery
+
+            outcome = run_with_recovery(
+                graph, args.ranks, cfg, max_retries=args.max_retries
+            )
+            res = outcome.result
+            if outcome.recovered:
+                print(
+                    f"recovered after {outcome.attempts - 1} failure(s); "
+                    f"resumed from levels {outcome.resumed_levels[1:]}"
+                )
+        else:
+            res = distributed_louvain(graph, args.ranks, cfg)
         assignment, q = res.assignment, res.modularity
         print(
             f"distributed Louvain (p={args.ranks}, {args.heuristic}, "

@@ -17,6 +17,8 @@ from repro.core.distributed import (
     distributed_louvain,
     DistributedConfig,
     DistributedResult,
+    run_with_recovery,
+    RecoveryOutcome,
 )
 from repro.core.baselines import cheong_louvain
 from repro.core.heuristics import HEURISTICS
@@ -47,6 +49,8 @@ __all__ = [
     "distributed_louvain",
     "DistributedConfig",
     "DistributedResult",
+    "run_with_recovery",
+    "RecoveryOutcome",
     "cheong_louvain",
     "HEURISTICS",
     "Dendrogram",

@@ -12,6 +12,7 @@ resume at p=8.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -46,14 +47,31 @@ class Checkpoint:
             )
         if self.assignment.shape != (graph.n_vertices,):
             raise ValueError("checkpoint assignment shape mismatch")
+        if not np.issubdtype(self.assignment.dtype, np.integer):
+            raise ValueError(
+                "checkpoint assignment must have an integer dtype, got "
+                f"{self.assignment.dtype}"
+            )
         if self.assignment.size and self.assignment.min() < 0:
             raise ValueError("checkpoint assignment has negative labels")
+        if self.assignment.size and int(self.assignment.max()) >= self.n_vertices:
+            raise ValueError(
+                "checkpoint assignment has out-of-range labels "
+                f"(max {int(self.assignment.max())} >= n_vertices "
+                f"{self.n_vertices})"
+            )
 
 
 def save_checkpoint(path: str | Path, checkpoint_or_result) -> None:
     """Write a checkpoint from a :class:`Checkpoint` or any result object
     with ``assignment`` / ``modularity`` / ``n_levels`` attributes
-    (e.g. :class:`~repro.core.distributed.DistributedResult`)."""
+    (e.g. :class:`~repro.core.distributed.DistributedResult`).
+
+    The write is atomic (temp file + rename), so a crash mid-write — the
+    exact scenario the recovery supervisor exists for — can never leave a
+    truncated checkpoint behind: readers see either the previous complete
+    checkpoint or the new one.
+    """
     if isinstance(checkpoint_or_result, Checkpoint):
         ckpt = checkpoint_or_result
     else:
@@ -72,11 +90,15 @@ def save_checkpoint(path: str | Path, checkpoint_or_result) -> None:
             "levels_completed": ckpt.levels_completed,
         }
     )
-    np.savez(
-        path,
-        assignment=ckpt.assignment,
-        meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
-    )
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(
+            fh,
+            assignment=ckpt.assignment,
+            meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+        )
+    os.replace(tmp, path)
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:
@@ -100,6 +122,7 @@ def resume_distributed_louvain(
     checkpoint: Checkpoint,
     n_ranks: int,
     config=None,
+    faults=None,
 ):
     """Continue a run from a checkpoint.
 
@@ -108,6 +131,12 @@ def resume_distributed_louvain(
     :class:`~repro.core.distributed.DistributedResult` is re-expressed on
     the *original* vertices.  The resumed run may use a different rank
     count or configuration than the original.
+
+    If the configuration enables per-level checkpointing, the resumed run
+    keeps writing checkpoints expressed on the *original* vertices (level
+    numbering continues from ``checkpoint.levels_completed``), so a chain
+    of failures can be recovered step by step.  ``faults`` is forwarded to
+    the simulated runtime (see :mod:`repro.runtime.faults`).
     """
     from dataclasses import replace
 
@@ -117,7 +146,13 @@ def resume_distributed_louvain(
     checkpoint.validate_against(graph)
     cfg = config or DistributedConfig()
     coarse, dense = coarsen_graph(graph, checkpoint.assignment)
-    result = distributed_louvain(coarse, n_ranks, cfg)
+    result = distributed_louvain(
+        coarse,
+        n_ranks,
+        cfg,
+        faults=faults,
+        _ckpt_base=(np.asarray(dense, dtype=np.int64), checkpoint.levels_completed),
+    )
     flat = result.assignment[dense]
     # re-express on the original graph; Q is invariant under coarsening so
     # the coarse run's own Q is already the flat assignment's Q

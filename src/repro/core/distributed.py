@@ -19,11 +19,16 @@ cost model applied to the measured per-rank work and traffic.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
+from repro.core.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.core.heuristics import get_heuristic
 from repro.core.local_clustering import LocalClustering
 from repro.core.merging import merge_level
@@ -31,10 +36,16 @@ from repro.graph.csr import CSRGraph
 from repro.partition.delegate import delegate_partition
 from repro.partition.distgraph import Partition
 from repro.partition.oned import oned_partition
-from repro.runtime.engine import run_spmd
+from repro.runtime.engine import SPMDError, run_spmd
 from repro.runtime.stats import RunStats
 
-__all__ = ["DistributedConfig", "DistributedResult", "distributed_louvain"]
+__all__ = [
+    "DistributedConfig",
+    "DistributedResult",
+    "distributed_louvain",
+    "run_with_recovery",
+    "RecoveryOutcome",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +67,13 @@ class DistributedConfig:
     stall_patience: int = 3  # tolerated non-improving inner iterations
     max_levels: int = 50
     timeout: float = 600.0  # simulated-rank deadlock timeout (seconds)
+    # fault tolerance: with a checkpoint_path set, the flat assignment on
+    # the ORIGINAL graph is persisted (atomically) after every
+    # checkpoint_every_level completed levels, enabling run_with_recovery
+    # to resume a crashed run from the last completed level
+    checkpoint_every_level: int = 0  # 0 disables checkpointing
+    checkpoint_path: str | None = None
+    checksums: bool = False  # verify p2p payload CRC32s at recv
 
 
 @dataclass
@@ -120,12 +138,56 @@ class DistributedResult:
         return "\n".join(lines)
 
 
-def _worker(comm, partition: Partition, cfg: DistributedConfig):
-    """The SPMD program: stages 2-4 of Algorithm 1 on one rank."""
+def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
+    """The SPMD program: stages 2-4 of Algorithm 1 on one rank.
+
+    ``ckpt_base`` carries resume state: ``(base_flat, base_levels)`` where
+    ``base_flat`` maps each ORIGINAL vertex to its vertex in the (coarse)
+    graph this run operates on, and ``base_levels`` is how many levels the
+    checkpoint being resumed had already completed.  ``None`` for a fresh
+    run.
+    """
     lg = partition.locals[comm.rank]
     heuristic = get_heuristic(cfg.heuristic)
     level_maps: list[tuple[np.ndarray, np.ndarray]] = []
     reports: list[LevelReport] = []
+
+    base_flat, base_levels = ckpt_base if ckpt_base is not None else (None, 0)
+    checkpointing = cfg.checkpoint_every_level > 0 and cfg.checkpoint_path
+    ckpt_flat = base_flat  # running original-vertex composition (root only)
+    completed = 0  # levels completed by THIS run
+
+    def level_boundary(fine_ids: np.ndarray, coarse_ids: np.ndarray, q: float):
+        """Called after each completed (merged) level: persist the flat
+        assignment, then give the fault injector its shot at the boundary.
+        The crash window deliberately sits AFTER the checkpoint write, so
+        an injected boundary crash exercises resume-from-this-level."""
+        nonlocal ckpt_flat, completed
+        completed += 1
+        if checkpointing:
+            with comm.phase("checkpoint"):
+                rows = comm.gather((fine_ids, coarse_ids), root=0)
+                if comm.rank == 0:
+                    ids = np.concatenate([r[0] for r in rows])
+                    coarse = np.concatenate([r[1] for r in rows])
+                    mapping = np.full(
+                        int(ids.max()) + 1 if ids.size else 0, -1, dtype=np.int64
+                    )
+                    mapping[ids] = coarse
+                    ckpt_flat = (
+                        mapping if ckpt_flat is None else mapping[ckpt_flat]
+                    )
+                    if completed % cfg.checkpoint_every_level == 0:
+                        save_checkpoint(
+                            cfg.checkpoint_path,
+                            Checkpoint(
+                                assignment=ckpt_flat,
+                                modularity=float(q),
+                                n_vertices=int(ckpt_flat.size),
+                                levels_completed=base_levels + completed,
+                            ),
+                        )
+        comm.fault_event(f"level:{base_levels + completed - 1}")
 
     # ---- stage 2: clustering with delegates (one level) ----------------
     clustering = LocalClustering(
@@ -159,6 +221,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig):
     with comm.phase("s1:merge"):
         lg, fine_ids, coarse_ids = merge_level(comm, lg, outcome.comm_of)
     level_maps.append((fine_ids, coarse_ids))
+    level_boundary(fine_ids, coarse_ids, q_prev)
 
     # ---- stage 4: clustering without delegates -------------------------
     for level in range(1, cfg.max_levels):
@@ -199,6 +262,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig):
         with comm.phase("s2:merge"):
             lg, fine_ids, coarse_ids = merge_level(comm, lg, outcome.comm_of)
         level_maps.append((fine_ids, coarse_ids))
+        level_boundary(fine_ids, coarse_ids, q)
 
     return level_maps, reports, q_prev
 
@@ -207,9 +271,18 @@ def distributed_louvain(
     graph: CSRGraph,
     n_ranks: int,
     config: DistributedConfig | None = None,
+    faults=None,
+    _ckpt_base=None,
 ) -> DistributedResult:
     """Run the full distributed Louvain pipeline on ``n_ranks`` simulated
     processors.
+
+    ``faults`` optionally injects a deterministic fault schedule into the
+    simulated runtime (:mod:`repro.runtime.faults`); ``_ckpt_base`` is the
+    internal resume state threaded through by
+    :func:`~repro.core.checkpoint.resume_distributed_louvain` so that
+    checkpoints written by a resumed run stay expressed on the original
+    vertices.
 
     Examples
     --------
@@ -231,7 +304,16 @@ def distributed_louvain(
     t_part = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    spmd = run_spmd(n_ranks, _worker, partition, cfg, timeout=cfg.timeout)
+    spmd = run_spmd(
+        n_ranks,
+        _worker,
+        partition,
+        cfg,
+        _ckpt_base,
+        timeout=cfg.timeout,
+        faults=faults,
+        checksums=cfg.checksums,
+    )
     wall = time.perf_counter() - t1
 
     # compose level maps into a flat assignment on the original graph
@@ -278,3 +360,98 @@ def distributed_louvain(
         partition_time=t_part,
         level_mappings=level_mappings,
     )
+
+
+@dataclass
+class RecoveryOutcome:
+    """What :func:`run_with_recovery` observed while supervising a run."""
+
+    result: DistributedResult
+    attempts: int  # total runs, 1 == no failure occurred
+    failures: list[str]  # one entry per caught SPMDError, in order
+    resumed_levels: list[int]  # checkpoint level each attempt started from
+    # (0 == from scratch); resumed_levels[0] is always 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.attempts > 1
+
+
+def run_with_recovery(
+    graph: CSRGraph,
+    n_ranks: int,
+    config: DistributedConfig | None = None,
+    max_retries: int = 3,
+    backoff: float = 0.0,
+    faults=None,
+) -> RecoveryOutcome:
+    """Supervise a distributed Louvain run: on any :class:`SPMDError`
+    (crashed rank, deadlock, detected corruption, ...), reload the latest
+    per-level checkpoint and resume from it, up to ``max_retries`` times.
+
+    Coarsening preserves modularity exactly, so a run resumed from any
+    completed level converges to a valid final partition — per-level state
+    is the natural recovery unit (Lu & Halappanavar).  If the config has no
+    ``checkpoint_path``, a temporary one is used (and cleaned up);
+    ``checkpoint_every_level`` defaults to 1 when unset so every level
+    boundary is recoverable.
+
+    ``faults`` (a :class:`~repro.runtime.faults.FaultPlan` or live
+    ``FaultInjector``) is shared across all attempts: one-shot faults that
+    already fired do not fire again on retry, exactly like a real rank that
+    crashed once.  ``backoff`` sleeps ``backoff * 2**attempt`` seconds
+    between attempts.  The final attempt's error is re-raised if every
+    retry is exhausted.
+    """
+    from repro.runtime.faults import FaultInjector
+
+    cfg = config or DistributedConfig()
+    tmpdir: str | None = None
+    if cfg.checkpoint_path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-recovery-")
+        cfg = replace(cfg, checkpoint_path=os.path.join(tmpdir, "recovery.npz"))
+    if cfg.checkpoint_every_level <= 0:
+        cfg = replace(cfg, checkpoint_every_level=1)
+
+    injector = None
+    if faults is not None:
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+
+    path = Path(cfg.checkpoint_path)
+    failures: list[str] = []
+    resumed_levels: list[int] = []
+    try:
+        for attempt in range(max_retries + 1):
+            checkpoint = load_checkpoint(path) if path.exists() else None
+            resumed_levels.append(
+                checkpoint.levels_completed if checkpoint is not None else 0
+            )
+            try:
+                if checkpoint is not None:
+                    from repro.core.checkpoint import resume_distributed_louvain
+
+                    result = resume_distributed_louvain(
+                        graph, checkpoint, n_ranks, cfg, faults=injector
+                    )
+                else:
+                    result = distributed_louvain(
+                        graph, n_ranks, cfg, faults=injector
+                    )
+                return RecoveryOutcome(
+                    result=result,
+                    attempts=attempt + 1,
+                    failures=failures,
+                    resumed_levels=resumed_levels,
+                )
+            except SPMDError as exc:
+                failures.append(f"attempt {attempt + 1}: {exc}")
+                if attempt == max_retries:
+                    raise
+                if backoff > 0:
+                    time.sleep(backoff * (2**attempt))
+        raise AssertionError("unreachable")  # loop always returns or raises
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)

@@ -15,24 +15,56 @@ plain Python threads synchronised by barriers, which under the GIL
 interleave exactly like a BSP machine.
 """
 
-from repro.runtime.comm import SimComm, CommError, DeadlockError, Request
+from repro.runtime.comm import (
+    SimComm,
+    CommError,
+    DeadlockError,
+    CollectiveMismatchError,
+    CorruptionError,
+    Request,
+)
 from repro.runtime.engine import run_spmd, SPMDError
-from repro.runtime.stats import RankStats, RunStats, payload_nbytes
+from repro.runtime.stats import RankStats, RunStats, payload_nbytes, payload_checksum
 from repro.runtime.costmodel import MachineModel, SimulatedTime, simulate_time
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultInjector,
+    InjectedFault,
+    InjectedCrash,
+    CrashFault,
+    Straggler,
+    MessageDrop,
+    MessageDuplicate,
+    MessageDelay,
+    MessageCorruption,
+)
 from repro.runtime import reducers
 
 __all__ = [
     "SimComm",
     "CommError",
     "DeadlockError",
+    "CollectiveMismatchError",
+    "CorruptionError",
     "Request",
     "run_spmd",
     "SPMDError",
     "RankStats",
     "RunStats",
     "payload_nbytes",
+    "payload_checksum",
     "MachineModel",
     "SimulatedTime",
     "simulate_time",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedCrash",
+    "CrashFault",
+    "Straggler",
+    "MessageDrop",
+    "MessageDuplicate",
+    "MessageDelay",
+    "MessageCorruption",
     "reducers",
 ]

@@ -24,18 +24,39 @@ Two invariants hold everywhere: a rank "sending" to itself contributes
 nothing (self-deliveries never touch the wire), and a *message* is counted
 per peer transfer only when the payload is non-empty — the alltoall rule,
 applied uniformly to every collective.
+
+Failure detection:
+
+* every collective tags its exchange generation with the operation name
+  (and root, where applicable); if ranks disagree — i.e. the SPMD program
+  diverged from the single collective order — every rank raises
+  :class:`CollectiveMismatchError` naming each rank's operation, instead
+  of silently swapping payloads between mismatched collectives;
+* with ``run_spmd(..., checksums=True)`` every point-to-point payload is
+  wrapped with a CRC32 computed at ``send``; a mismatch at ``recv`` (e.g.
+  injected bit corruption, see :mod:`repro.runtime.faults`) raises
+  :class:`CorruptionError` identifying the failing ``(src, dst, tag)``.
 """
 
 from __future__ import annotations
 
 import math
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.runtime import reducers
-from repro.runtime.stats import RankStats, payload_nbytes
+from repro.runtime.stats import RankStats, payload_checksum, payload_nbytes
 
-__all__ = ["SimComm", "CommError", "DeadlockError", "Request"]
+__all__ = [
+    "SimComm",
+    "CommError",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "CorruptionError",
+    "Request",
+]
 
 
 class Request:
@@ -79,15 +100,43 @@ class DeadlockError(RuntimeError):
     """A blocking receive waited past its timeout."""
 
 
+class CollectiveMismatchError(CommError):
+    """Ranks diverged from the SPMD collective order: the same exchange
+    generation was entered with different operations (or roots)."""
+
+
+class CorruptionError(CommError):
+    """A point-to-point payload failed its checksum at ``recv``."""
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    """Checksummed wrapper around a p2p payload (``checksums=True``).  The
+    checksum is computed at ``send`` on the original payload, so anything
+    that mutates the message in transit is caught at ``recv``."""
+
+    payload: Any
+    checksum: int
+
+
 class _World:
     """State shared by all ranks of one SPMD run."""
 
-    def __init__(self, size: int, timeout: float) -> None:
+    def __init__(
+        self,
+        size: int,
+        timeout: float,
+        injector=None,
+        checksums: bool = False,
+    ) -> None:
         self.size = size
         self.timeout = timeout
+        self.injector = injector  # FaultInjector | None (duck-typed)
+        self.checksums = checksums
         self.barrier = threading.Barrier(size)
         self._lock = threading.Lock()
         self._coll_bufs: dict[int, list[Any]] = {}
+        self._coll_ops: dict[int, list[str | None]] = {}
         self._coll_reads: dict[int, int] = {}
         # point-to-point mailboxes: (src, dst, tag) -> list of payloads,
         # guarded by a condition variable
@@ -103,25 +152,45 @@ class _World:
             self._mail_cv.notify_all()
 
     # -- collective primitive -------------------------------------------
-    def exchange(self, rank: int, gen: int, value: Any) -> list[Any]:
+    def exchange(self, rank: int, gen: int, value: Any, op: str = "") -> list[Any]:
         with self._lock:
             buf = self._coll_bufs.setdefault(gen, [None] * self.size)
+            ops = self._coll_ops.setdefault(gen, [None] * self.size)
         buf[rank] = value
+        ops[rank] = op
         try:
             self.barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError:
-            raise DeadlockError(
-                f"rank {rank}: collective generation {gen} never completed "
-                "(a peer failed or diverged from the SPMD collective order)"
-            ) from None
+            # abort() can break the barrier while this thread is still
+            # draining out of an already-released wait.  If every rank had
+            # deposited its contribution the collective logically completed:
+            # deliver it, and let the abort surface at the next operation.
+            with self._lock:
+                complete = all(t is not None for t in ops)
+            if not complete:
+                raise DeadlockError(
+                    f"rank {rank}: collective {op or '?'} (generation {gen}) "
+                    "never completed (a peer failed or diverged from the SPMD "
+                    "collective order)"
+                ) from None
         result = list(buf)
+        op_tags = list(ops)
         with self._lock:
             n = self._coll_reads.get(gen, 0) + 1
             if n == self.size:
                 self._coll_bufs.pop(gen, None)
+                self._coll_ops.pop(gen, None)
                 self._coll_reads.pop(gen, None)
             else:
                 self._coll_reads[gen] = n
+        if any(t != op_tags[0] for t in op_tags):
+            detail = ", ".join(
+                f"rank {r}: {t or '?'}" for r, t in enumerate(op_tags)
+            )
+            raise CollectiveMismatchError(
+                f"rank {rank}: SPMD collective order diverged at generation "
+                f"{gen} ({detail})"
+            )
         return result
 
     # -- point-to-point ---------------------------------------------------
@@ -208,6 +277,14 @@ class SimComm:
         """Record abstract compute work (units == scanned edge endpoints)."""
         self.stats.add_compute(units, self._phase)
 
+    def fault_event(self, name: str) -> None:
+        """Named synchronisation point for fault triggers (no-op unless a
+        fault plan is active).  Algorithm code emits these at natural
+        recovery boundaries — e.g. ``"level:3"`` after Louvain level 3."""
+        injector = self._world.injector
+        if injector is not None:
+            injector.on_event(self.rank, name)
+
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
@@ -218,7 +295,33 @@ class SimComm:
         # they never touch the wire, so they must not count as traffic
         if dest != self.rank:
             self.stats.add_sent(payload_nbytes(obj), self._phase)
-        self._world.put(self.rank, dest, tag, obj)
+        deliveries: list[Any] = [obj]
+        delay = 0.0
+        injector = self._world.injector
+        if injector is not None:
+            deliveries, delay = injector.on_send(self.rank, dest, tag, obj)
+        if self._world.checksums:
+            # checksum the ORIGINAL payload: in-transit corruption (which
+            # happens after the injector hook) must not update it
+            crc = payload_checksum(obj)
+            deliveries = [_Envelope(d, crc) for d in deliveries]
+        if delay > 0:
+            time.sleep(delay)
+        for d in deliveries:
+            self._world.put(self.rank, dest, tag, d)
+
+    def _open_envelope(self, source: int, tag: int, payload: Any) -> Any:
+        """Verify and unwrap a checksummed payload (pass-through otherwise)."""
+        if isinstance(payload, _Envelope):
+            actual = payload_checksum(payload.payload)
+            if actual != payload.checksum:
+                raise CorruptionError(
+                    f"rank {self.rank}: payload checksum mismatch on message "
+                    f"(src={source}, dst={self.rank}, tag={tag}): expected "
+                    f"{payload.checksum:#010x}, got {actual:#010x}"
+                )
+            return payload.payload
+        return payload
 
     def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
         if not 0 <= source < self.size:
@@ -226,6 +329,7 @@ class SimComm:
         payload = self._world.take(
             source, self.rank, tag, timeout or self._world.timeout
         )
+        payload = self._open_envelope(source, tag, payload)
         if source != self.rank:
             self.stats.add_recv(payload_nbytes(payload), self._phase)
         return payload
@@ -249,8 +353,10 @@ class SimComm:
                 ok = True
             else:
                 ok, payload = self._world.try_take(source, self.rank, tag)
-            if ok and source != self.rank:
-                self.stats.add_recv(payload_nbytes(payload), self._phase)
+            if ok:
+                payload = self._open_envelope(source, tag, payload)
+                if source != self.rank:
+                    self.stats.add_recv(payload_nbytes(payload), self._phase)
             return ok, payload
 
         return Request(fetch=fetch)
@@ -259,17 +365,24 @@ class SimComm:
     # Collectives
     # ------------------------------------------------------------------
     def _next_gen(self) -> int:
+        # the generation counter doubles as the rank's superstep index,
+        # which is what crash/straggler faults are scheduled against
+        injector = self._world.injector
+        if injector is not None:
+            injector.on_collective(self.rank, self._gen)
         g = self._gen
         self._gen += 1
         return g
 
     def barrier(self) -> None:
-        self._world.exchange(self.rank, self._next_gen(), None)
+        self._world.exchange(self.rank, self._next_gen(), None, op="barrier")
         self.stats.close_superstep(self._phase)
 
     def allgather(self, value: Any) -> list[Any]:
         nbytes = payload_nbytes(value)
-        out = self._world.exchange(self.rank, self._next_gen(), value)
+        out = self._world.exchange(
+            self.rank, self._next_gen(), value, op="allgather"
+        )
         # alltoall rule: zero-byte payloads put no messages on the wire
         n_msgs = self.size - 1 if nbytes > 0 else 0
         self.stats.add_sent(nbytes * (self.size - 1), self._phase, n_msgs)
@@ -295,7 +408,9 @@ class SimComm:
             if i != self.rank and payload_nbytes(v) > 0
         )
         self.stats.add_sent(sent, self._phase, n_msgs)
-        rows = self._world.exchange(self.rank, self._next_gen(), list(values))
+        rows = self._world.exchange(
+            self.rank, self._next_gen(), list(values), op="alltoall"
+        )
         out = [rows[src][self.rank] for src in range(self.size)]
         self.stats.add_recv(
             sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
@@ -308,7 +423,10 @@ class SimComm:
         if not 0 <= root < self.size:
             raise CommError(f"bcast: bad root {root}")
         out = self._world.exchange(
-            self.rank, self._next_gen(), value if self.rank == root else None
+            self.rank,
+            self._next_gen(),
+            value if self.rank == root else None,
+            op=f"bcast(root={root})",
         )
         result = out[root]
         log_p = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
@@ -323,7 +441,9 @@ class SimComm:
         return result
 
     def allreduce(self, value: Any, op: Callable = reducers.SUM) -> Any:
-        out = self._world.exchange(self.rank, self._next_gen(), value)
+        out = self._world.exchange(
+            self.rank, self._next_gen(), value, op="allreduce"
+        )
         result = reducers.reduce_values(out, op)
         if self.size > 1:
             log_p = max(1, math.ceil(math.log2(self.size)))
@@ -339,12 +459,17 @@ class SimComm:
     def reduce(self, value: Any, op: Callable = reducers.SUM, root: int = 0) -> Any:
         if not 0 <= root < self.size:
             raise CommError(f"reduce: bad root {root}")
-        out = self._world.exchange(self.rank, self._next_gen(), value)
+        out = self._world.exchange(
+            self.rank, self._next_gen(), value, op=f"reduce(root={root})"
+        )
         if self.size > 1:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(value)
-            self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
-            if self.rank == root:
+            # reduce tree: every non-root rank sends (at least) its own
+            # payload towards the root; the root only receives
+            if self.rank != root:
+                self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
+            else:
                 self.stats.add_recv(nbytes * log_p, self._phase)
         self.stats.close_superstep(self._phase)
         if self.rank == root:
@@ -354,7 +479,9 @@ class SimComm:
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         if not 0 <= root < self.size:
             raise CommError(f"gather: bad root {root}")
-        out = self._world.exchange(self.rank, self._next_gen(), value)
+        out = self._world.exchange(
+            self.rank, self._next_gen(), value, op=f"gather(root={root})"
+        )
         if self.rank != root:
             nbytes = payload_nbytes(value)
             self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
@@ -383,7 +510,9 @@ class SimComm:
             )
         else:
             payload = None
-        out = self._world.exchange(self.rank, self._next_gen(), payload)
+        out = self._world.exchange(
+            self.rank, self._next_gen(), payload, op=f"scatter(root={root})"
+        )
         mine = out[root][self.rank]
         if self.rank != root:
             self.stats.add_recv(payload_nbytes(mine), self._phase)

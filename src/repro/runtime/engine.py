@@ -34,6 +34,8 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 120.0,
+    faults: Any = None,
+    checksums: bool = False,
     **kwargs: Any,
 ) -> SPMDResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
@@ -47,6 +49,14 @@ def run_spmd(
         :class:`~repro.runtime.comm.SimComm`.
     timeout:
         Per-blocking-operation deadlock timeout in seconds.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` (or a live
+        :class:`~repro.runtime.faults.FaultInjector`, e.g. one carried
+        across retries by a recovery supervisor) scheduling deterministic
+        rank crashes, stragglers, and p2p message faults.
+    checksums:
+        Verify a CRC32 of every point-to-point payload at ``recv``;
+        corruption raises :class:`~repro.runtime.comm.CorruptionError`.
 
     Returns
     -------
@@ -62,7 +72,15 @@ def run_spmd(
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
-    world = _World(n_ranks, timeout=timeout)
+    injector = None
+    if faults is not None:
+        from repro.runtime.faults import FaultInjector
+
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+        injector.bind(n_ranks)
+    world = _World(n_ranks, timeout=timeout, injector=injector, checksums=checksums)
     rank_stats = [RankStats(rank=r) for r in range(n_ranks)]
     results: list[Any] = [None] * n_ranks
     errors: list[BaseException | None] = [None] * n_ranks

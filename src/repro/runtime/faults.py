@@ -1,0 +1,350 @@
+"""Deterministic fault injection for the simulated runtime.
+
+The paper's scalability claims rest on runs across tens of thousands of
+cores, where ranks crash, straggle, and links corrupt or lose messages.
+This module lets tests and experiments schedule such faults *exactly*: a
+:class:`FaultPlan` is a declarative list of fault descriptions plus a seed,
+and a :class:`FaultInjector` is the stateful object the communicator calls
+into at its hook points (collective entry, named events, point-to-point
+sends).
+
+Determinism contract: the same plan (same faults, same seed) injected into
+the same SPMD program produces the identical fault sequence — crash sites,
+dropped/duplicated/delayed messages, and even the exact bit flipped by a
+corruption are all functions of the plan, never of thread timing.  This is
+what makes recovery tests reproducible.
+
+Fault lifecycle: every fault except :class:`Straggler` is **one-shot** —
+once fired it never fires again, even if the same injector is reused for a
+retried run.  That is exactly the behaviour a recovery supervisor needs: a
+rank that crashed once does not crash again on restart, so
+``run_with_recovery`` can pass the same injector to every attempt (see
+:func:`repro.core.distributed.run_with_recovery`).
+
+Hook points (called by :class:`~repro.runtime.comm.SimComm`):
+
+* ``on_collective(rank, superstep)`` — before the rank's ``superstep``-th
+  collective; may sleep (:class:`Straggler`) or raise
+  (:class:`CrashFault` with ``superstep=``).
+* ``on_event(rank, name)`` — at a named synchronisation point emitted by
+  algorithm code via ``comm.fault_event(name)`` (the distributed Louvain
+  driver emits ``"level:<k>"`` after each completed level); may raise
+  (:class:`CrashFault` with ``event=``).
+* ``on_send(src, dst, tag, payload)`` — on every point-to-point send;
+  returns the payloads actually delivered (possibly none, duplicated, or
+  corrupted) plus an in-flight delay.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedCrash",
+    "CrashFault",
+    "Straggler",
+    "MessageDrop",
+    "MessageDuplicate",
+    "MessageDelay",
+    "MessageCorruption",
+    "CorruptedObject",
+    "corrupt_payload",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Base class for errors raised by the fault injector."""
+
+
+class InjectedCrash(InjectedFault):
+    """A rank was killed by a scheduled :class:`CrashFault`."""
+
+
+# ---------------------------------------------------------------------------
+# Fault descriptions (immutable, declarative)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill ``rank`` either before its ``superstep``-th collective (0-based)
+    or at the named :meth:`~repro.runtime.comm.SimComm.fault_event`.
+    Exactly one of ``superstep`` / ``event`` must be given."""
+
+    rank: int
+    superstep: int | None = None
+    event: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"CrashFault: bad rank {self.rank}")
+        if (self.superstep is None) == (self.event is None):
+            raise ValueError(
+                "CrashFault requires exactly one of superstep= or event="
+            )
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Slow ``rank`` down: sleep ``delay`` seconds before each collective in
+    supersteps ``[superstep, superstep + n_supersteps)``.  Not one-shot."""
+
+    rank: int
+    superstep: int
+    delay: float = 0.05
+    n_supersteps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"Straggler: bad rank {self.rank}")
+        if self.delay < 0 or self.n_supersteps < 1:
+            raise ValueError("Straggler: delay >= 0 and n_supersteps >= 1")
+
+
+@dataclass(frozen=True)
+class _P2PFault:
+    """Base for point-to-point faults: fires on the ``nth`` (0-based)
+    matching message from ``src`` to ``dst``; ``tag=None`` matches any tag
+    (``nth`` then counts across all tags of the pair)."""
+
+    src: int
+    dst: int
+    tag: int | None = None
+    nth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"{type(self).__name__}: bad src/dst")
+        if self.nth < 0:
+            raise ValueError(f"{type(self).__name__}: nth must be >= 0")
+
+
+@dataclass(frozen=True)
+class MessageDrop(_P2PFault):
+    """The matching message is lost in transit (never delivered)."""
+
+
+@dataclass(frozen=True)
+class MessageDuplicate(_P2PFault):
+    """The matching message is delivered twice."""
+
+
+@dataclass(frozen=True)
+class MessageDelay(_P2PFault):
+    """The matching message spends ``delay`` extra seconds in flight."""
+
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay < 0:
+            raise ValueError("MessageDelay: delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class MessageCorruption(_P2PFault):
+    """The matching payload is bit-corrupted in transit.  The flipped bit is
+    a deterministic function of the plan seed and the fault's position in
+    the plan (see :func:`corrupt_payload`)."""
+
+
+_FAULT_TYPES = (
+    CrashFault,
+    Straggler,
+    MessageDrop,
+    MessageDuplicate,
+    MessageDelay,
+    MessageCorruption,
+)
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults.
+
+    >>> plan = FaultPlan([CrashFault(rank=1, superstep=3)], seed=7)
+    >>> run_spmd(4, program, faults=plan)      # doctest: +SKIP
+    """
+
+    def __init__(self, faults=(), seed: int = 0) -> None:
+        self.faults: tuple = tuple(faults)
+        self.seed = int(seed)
+        for f in self.faults:
+            if not isinstance(f, _FAULT_TYPES):
+                raise TypeError(
+                    f"unknown fault type {type(f).__name__!r}; expected one "
+                    f"of {[t.__name__ for t in _FAULT_TYPES]}"
+                )
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.faults)!r}, seed={self.seed})"
+
+    def max_rank(self) -> int:
+        """Highest rank referenced by any fault (-1 for an empty plan)."""
+        ranks = [-1]
+        for f in self.faults:
+            if isinstance(f, (CrashFault, Straggler)):
+                ranks.append(f.rank)
+            else:
+                ranks.extend((f.src, f.dst))
+        return max(ranks)
+
+
+class CorruptedObject:
+    """Opaque stand-in for a non-binary payload corrupted in transit."""
+
+    def __init__(self, original) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"CorruptedObject({self.original!r})"
+
+
+def corrupt_payload(payload, rng: np.random.Generator):
+    """Flip one seeded bit of a binary payload (ndarray / bytes); payloads
+    with no binary representation are replaced by :class:`CorruptedObject`,
+    which any checksum or type check downstream will reject."""
+    if isinstance(payload, np.ndarray) and payload.nbytes > 0:
+        raw = bytearray(payload.tobytes())
+        raw[int(rng.integers(len(raw)))] ^= 1 << int(rng.integers(8))
+        return (
+            np.frombuffer(bytes(raw), dtype=payload.dtype)
+            .reshape(payload.shape)
+            .copy()
+        )
+    if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
+        raw = bytearray(payload)
+        raw[int(rng.integers(len(raw)))] ^= 1 << int(rng.integers(8))
+        return bytes(raw)
+    return CorruptedObject(payload)
+
+
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan`.
+
+    Thread-safe (hooks are called concurrently from every simulated rank).
+    Reusable across runs: fired one-shot faults stay fired, and p2p message
+    counters keep accumulating, so a supervisor retrying a failed run with
+    the same injector sees the remaining faults only.
+    ``log`` records every fired fault as a human-readable string.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._fired: set[int] = set()
+        self._p2p_seen: dict[tuple, int] = defaultdict(int)
+        self.log: list[str] = []
+
+    # -- setup ----------------------------------------------------------
+    def bind(self, n_ranks: int) -> None:
+        """Validate the plan against a world size (called by ``run_spmd``)."""
+        top = self.plan.max_rank()
+        if top >= n_ranks:
+            raise ValueError(
+                f"fault plan references rank {top} but the world has only "
+                f"{n_ranks} ranks"
+            )
+
+    def _fire(self, index: int, description: str) -> None:
+        self._fired.add(index)
+        self.log.append(description)
+
+    # -- hooks ----------------------------------------------------------
+    def on_collective(self, rank: int, superstep: int) -> None:
+        """Called before the rank's ``superstep``-th collective."""
+        delay = 0.0
+        crash: CrashFault | None = None
+        with self._lock:
+            for i, f in enumerate(self.plan.faults):
+                if isinstance(f, CrashFault):
+                    if (
+                        i not in self._fired
+                        and f.rank == rank
+                        and f.superstep == superstep
+                    ):
+                        self._fire(i, f"crash rank={rank} superstep={superstep}")
+                        crash = f
+                        break
+                elif isinstance(f, Straggler):
+                    if (
+                        f.rank == rank
+                        and f.superstep <= superstep < f.superstep + f.n_supersteps
+                    ):
+                        delay += f.delay
+                        self.log.append(
+                            f"straggle rank={rank} superstep={superstep} "
+                            f"delay={f.delay}"
+                        )
+        if crash is not None:
+            raise InjectedCrash(
+                f"rank {rank}: injected crash at superstep {superstep}"
+            )
+        if delay > 0:
+            import time
+
+            time.sleep(delay)
+
+    def on_event(self, rank: int, name: str) -> None:
+        """Called at a named fault event (``comm.fault_event(name)``)."""
+        crash = False
+        with self._lock:
+            for i, f in enumerate(self.plan.faults):
+                if (
+                    isinstance(f, CrashFault)
+                    and i not in self._fired
+                    and f.rank == rank
+                    and f.event == name
+                ):
+                    self._fire(i, f"crash rank={rank} event={name}")
+                    crash = True
+                    break
+        if crash:
+            raise InjectedCrash(f"rank {rank}: injected crash at event {name!r}")
+
+    def on_send(self, src: int, dst: int, tag: int, payload):
+        """Called on every p2p send.  Returns ``(deliveries, delay)``: the
+        payload copies to actually deliver and the in-flight delay in
+        seconds."""
+        matched: list[tuple[int, _P2PFault]] = []
+        with self._lock:
+            n_any = self._p2p_seen[(src, dst)]
+            n_tag = self._p2p_seen[(src, dst, tag)]
+            self._p2p_seen[(src, dst)] = n_any + 1
+            self._p2p_seen[(src, dst, tag)] = n_tag + 1
+            for i, f in enumerate(self.plan.faults):
+                if not isinstance(f, _P2PFault) or i in self._fired:
+                    continue
+                if f.src != src or f.dst != dst:
+                    continue
+                if f.tag is not None and f.tag != tag:
+                    continue
+                if (n_any if f.tag is None else n_tag) != f.nth:
+                    continue
+                self._fire(
+                    i,
+                    f"{type(f).__name__} src={src} dst={dst} tag={tag} "
+                    f"msg#{f.nth}",
+                )
+                matched.append((i, f))
+        deliveries = [payload]
+        delay = 0.0
+        for i, f in matched:
+            if isinstance(f, MessageDrop):
+                deliveries = []
+            elif isinstance(f, MessageDuplicate):
+                deliveries = deliveries * 2
+            elif isinstance(f, MessageDelay):
+                delay += f.delay
+            elif isinstance(f, MessageCorruption):
+                # the flipped bit depends only on (plan seed, fault index),
+                # never on timing — same plan, same corruption
+                rng = np.random.default_rng([self.plan.seed, i])
+                deliveries = [corrupt_payload(d, rng) for d in deliveries]
+        return deliveries, delay

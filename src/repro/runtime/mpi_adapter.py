@@ -69,6 +69,9 @@ class MPIAdapter:
     def add_compute(self, units: float) -> None:
         self.stats.add_compute(units, self._phase)
 
+    def fault_event(self, name: str) -> None:
+        """API parity with SimComm; real MPI has no fault injector."""
+
     # -- point-to-point ---------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:

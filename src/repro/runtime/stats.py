@@ -10,12 +10,19 @@ one scanned edge endpoint, by convention of the algorithms in
 from __future__ import annotations
 
 import pickle
+import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["payload_nbytes", "RankStats", "RunStats", "Superstep"]
+__all__ = [
+    "payload_nbytes",
+    "payload_checksum",
+    "RankStats",
+    "RunStats",
+    "Superstep",
+]
 
 
 def payload_nbytes(obj) -> int:
@@ -43,6 +50,25 @@ def payload_nbytes(obj) -> int:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
         return 64  # unpicklable sentinel objects (tests only)
+
+
+def payload_checksum(obj) -> int:
+    """Deterministic CRC32 of a message payload.
+
+    NumPy arrays hash their raw bytes plus dtype and shape (so a reshaped
+    or recast array does not collide); byte strings hash directly;
+    everything else hashes its pickle.  Used by the communicator's
+    optional point-to-point integrity check (``run_spmd(checksums=True)``).
+    """
+    if isinstance(obj, np.ndarray):
+        header = f"{obj.dtype.str}|{obj.shape}".encode("utf-8")
+        return zlib.crc32(np.ascontiguousarray(obj).tobytes(), zlib.crc32(header))
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return zlib.crc32(bytes(obj))
+    try:
+        return zlib.crc32(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0  # unpicklable payloads get no integrity protection
 
 
 @dataclass

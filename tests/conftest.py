@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -15,6 +19,27 @@ from repro.graph.generators import (
     ring_of_cliques,
     two_triangles_bridge,
 )
+
+
+@pytest.fixture(autouse=os.environ.get("REPRO_THREAD_LEAK_CHECK") == "1")
+def assert_no_thread_leak():
+    """Fail the test if it leaks simulated-rank threads.
+
+    Enabled by ``REPRO_THREAD_LEAK_CHECK=1`` (the CI fault-matrix job): a
+    crashed or aborted world must still join every rank thread, even when
+    faults were injected mid-collective.
+    """
+    before = threading.active_count()
+    yield
+    deadline = time.monotonic() + 5.0
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = [
+        t.name
+        for t in threading.enumerate()
+        if t is not threading.main_thread() and t.is_alive()
+    ]
+    assert threading.active_count() <= before, f"leaked threads: {leaked}"
 
 
 @pytest.fixture(scope="session")

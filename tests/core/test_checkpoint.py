@@ -74,6 +74,25 @@ class TestValidation:
         with pytest.raises(ValueError, match="negative"):
             resume_distributed_louvain(karate, ckpt, 2)
 
+    def test_out_of_range_labels_rejected(self, karate):
+        labels = np.zeros(34, dtype=np.int64)
+        labels[0] = 34  # valid labels are 0..33
+        ckpt = Checkpoint(
+            assignment=labels, modularity=0.0, n_vertices=34, levels_completed=1
+        )
+        with pytest.raises(ValueError, match="out-of-range"):
+            resume_distributed_louvain(karate, ckpt, 2)
+
+    def test_non_integer_dtype_rejected(self, karate):
+        ckpt = Checkpoint(
+            assignment=np.zeros(34, dtype=np.float64),
+            modularity=0.0,
+            n_vertices=34,
+            levels_completed=1,
+        )
+        with pytest.raises(ValueError, match="integer"):
+            resume_distributed_louvain(karate, ckpt, 2)
+
 
 class TestResume:
     def test_resume_improves_partial_run(self, lfr_small, partial_run, tmp_path):

@@ -186,10 +186,21 @@ class TestMessageCounts:
         assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
 
     def test_reduce_counts(self):
+        # in a reduce tree the root only receives — it must not self-count
+        # a send (every non-root rank sends its payload towards the root)
         stats = self._stats(4, lambda c: c.reduce(np.zeros(2)))
-        assert [r.total_messages_sent for r in stats.ranks] == [1, 1, 1, 1]
+        assert [r.total_messages_sent for r in stats.ranks] == [0, 1, 1, 1]
         stats = self._stats(4, lambda c: c.reduce(np.zeros(0)))
         assert [r.total_messages_sent for r in stats.ranks] == [0, 0, 0, 0]
+
+    def test_reduce_counts_nonzero_root(self):
+        stats = self._stats(4, lambda c: c.reduce(np.zeros(2), root=2))
+        assert [r.total_messages_sent for r in stats.ranks] == [1, 1, 0, 1]
+
+    def test_reduce_bytes_root_receives_only(self):
+        stats = self._stats(4, lambda c: c.reduce(np.zeros(2)))  # 16 B, log2 p = 2
+        assert [r.total_bytes_sent for r in stats.ranks] == [0, 16, 16, 16]
+        assert [r.total_bytes_recv for r in stats.ranks] == [32, 0, 0, 0]
 
     def test_gather_counts(self):
         stats = self._stats(4, lambda c: c.gather(np.zeros(2)))

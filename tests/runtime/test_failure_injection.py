@@ -9,10 +9,18 @@ world is unusable afterwards only in documented ways.
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.core import DistributedConfig, distributed_louvain
-from repro.runtime import DeadlockError, SPMDError, run_spmd
+from repro.runtime import (
+    CollectiveMismatchError,
+    DeadlockError,
+    FaultPlan,
+    MessageDrop,
+    SPMDError,
+    run_spmd,
+)
 
 
 class TestRankCrashes:
@@ -75,23 +83,31 @@ class TestRankCrashes:
 
 
 class TestProtocolViolations:
-    def test_collective_order_divergence(self):
+    def test_collective_order_divergence_raises(self):
         """Ranks disagreeing on which collective comes next must not
-        exchange each other's payloads silently — the barrier ordering
-        catches it (generation counters agree, payload types differ) or a
-        timeout fires."""
+        exchange each other's payloads silently: every exchange generation
+        is tagged with its operation, and a mismatch raises
+        CollectiveMismatchError naming each rank's op."""
 
         def prog(c):
             if c.rank == 0:
                 return c.allreduce(1)
             return c.allgather(1)
 
-        # generation counters still line up, so the exchange completes but
-        # each rank interprets its own collective semantics; the engine
-        # cannot detect this (same as real MPI) — document by asserting it
-        # does not hang
-        res = run_spmd(2, prog, timeout=2)
-        assert len(res.results) == 2
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=2)
+        assert isinstance(exc.value.original, CollectiveMismatchError)
+        msg = str(exc.value.original)
+        assert "allreduce" in msg and "allgather" in msg
+
+    def test_same_collective_different_roots_raises(self):
+        def prog(c):
+            return c.bcast(c.rank, root=c.rank)  # each rank names itself root
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=2)
+        assert isinstance(exc.value.original, CollectiveMismatchError)
+        assert "root=0" in str(exc.value.original)
 
     def test_missing_collective_participant_times_out(self):
         def prog(c):
@@ -101,7 +117,10 @@ class TestProtocolViolations:
 
         with pytest.raises(SPMDError) as exc:
             run_spmd(2, prog, timeout=0.3)
-        assert isinstance(exc.value.original, (DeadlockError, Exception))
+        # the precise contract: the lone participant's collective times out
+        # as a DeadlockError that names the abandoned operation
+        assert type(exc.value.original) is DeadlockError
+        assert "allreduce" in str(exc.value.original)
 
     def test_recv_from_silent_peer_times_out_cleanly(self):
         t0 = time.perf_counter()
@@ -110,9 +129,67 @@ class TestProtocolViolations:
             if c.rank == 0:
                 c.recv(source=1, timeout=0.2)
 
-        with pytest.raises(SPMDError):
+        with pytest.raises(SPMDError) as exc:
             run_spmd(2, prog, timeout=5)
+        assert type(exc.value.original) is DeadlockError
         assert time.perf_counter() - t0 < 4.0
+
+
+class TestRequestsUnderFailure:
+    """Request/irecv against crashed peers and injected message drops:
+    polling must surface the failure, never spin forever."""
+
+    def test_request_test_raises_after_peer_crash(self):
+        def prog(c):
+            if c.rank == 1:
+                raise RuntimeError("peer dies before sending")
+            req = c.irecv(source=1)
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
+                req.test()  # must raise DeadlockError once the abort lands
+                time.sleep(0.005)
+            raise AssertionError("test() never observed the aborted world")
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=10)
+        # the ORIGINAL crash is reported, not the poller's secondary abort
+        assert exc.value.rank == 1
+
+    def test_request_wait_raises_after_peer_crash(self):
+        def prog(c):
+            if c.rank == 1:
+                raise RuntimeError("no send for you")
+            return c.irecv(source=1).wait()
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=10)
+        assert exc.value.rank == 1
+
+    def test_irecv_of_dropped_message_times_out(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.arange(4), dest=1)
+                return None
+            return c.irecv(source=0).wait()
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=0.3, faults=plan)
+        assert type(exc.value.original) is DeadlockError
+
+    def test_blocking_recv_of_dropped_message_times_out(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send("lost", dest=1)
+                return None
+            return c.recv(source=0, timeout=0.2)
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=5, faults=plan)
+        assert type(exc.value.original) is DeadlockError
 
 
 class TestAlgorithmLevelFailures:

@@ -1,0 +1,314 @@
+"""Tests for the deterministic fault-injection layer (`repro.runtime.faults`)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CorruptionError,
+    DeadlockError,
+    SPMDError,
+    run_spmd,
+)
+from repro.runtime.faults import (
+    CorruptedObject,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    MessageCorruption,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplicate,
+    Straggler,
+)
+
+
+class TestCrashFaults:
+    @pytest.mark.parametrize("crash_rank", [0, 2])
+    def test_crash_at_superstep(self, crash_rank):
+        plan = FaultPlan([CrashFault(rank=crash_rank, superstep=1)])
+
+        def prog(c):
+            c.allreduce(1)  # superstep 0 completes everywhere
+            c.allreduce(2)  # the victim dies before this one
+            return "ok"
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(4, prog, timeout=2, faults=plan)
+        assert exc.value.rank == crash_rank
+        assert isinstance(exc.value.original, InjectedCrash)
+
+    def test_crash_at_named_event(self):
+        plan = FaultPlan([CrashFault(rank=0, event="level:3")])
+
+        def prog(c):
+            c.barrier()
+            c.fault_event("level:2")  # does not match
+            c.fault_event("level:3")  # rank 0 dies here
+            return "ok"
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=2, faults=plan)
+        assert exc.value.rank == 0
+        assert "level:3" in str(exc.value.original)
+
+    def test_crash_is_one_shot_across_runs(self):
+        """A crashed rank does not crash again when the same injector is
+        reused — the contract a retry-based recovery supervisor needs."""
+        injector = FaultInjector(FaultPlan([CrashFault(rank=1, superstep=0)]))
+
+        def prog(c):
+            return c.allreduce(1)
+
+        with pytest.raises(SPMDError):
+            run_spmd(2, prog, timeout=2, faults=injector)
+        res = run_spmd(2, prog, timeout=2, faults=injector)
+        assert res.results == [2, 2]
+
+    def test_fault_event_is_noop_without_injector(self):
+        res = run_spmd(2, lambda c: c.fault_event("level:0") or "ok", timeout=2)
+        assert res.results == ["ok", "ok"]
+
+
+class TestStragglerFaults:
+    def test_straggler_delays_but_preserves_results(self):
+        plan = FaultPlan([Straggler(rank=0, superstep=0, delay=0.15)])
+
+        def prog(c):
+            return c.allreduce(c.rank + 1)
+
+        t0 = time.perf_counter()
+        res = run_spmd(3, prog, timeout=5, faults=plan)
+        assert time.perf_counter() - t0 >= 0.12
+        assert res.results == [6, 6, 6]
+
+    def test_straggler_spans_supersteps(self):
+        plan = FaultPlan(
+            [Straggler(rank=1, superstep=0, delay=0.05, n_supersteps=2)]
+        )
+
+        def prog(c):
+            c.barrier()
+            c.barrier()
+            return "ok"
+
+        t0 = time.perf_counter()
+        run_spmd(2, prog, timeout=5, faults=plan)
+        assert time.perf_counter() - t0 >= 0.08
+
+
+class TestP2PFaults:
+    def test_drop_starves_receiver(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, tag=7)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.arange(3), dest=1, tag=7)
+                return None
+            return c.recv(source=0, tag=7, timeout=0.2)
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=5, faults=plan)
+        assert type(exc.value.original) is DeadlockError
+
+    def test_drop_nth_message_only(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, nth=1)])
+
+        def prog(c):
+            if c.rank == 0:
+                for i in range(3):
+                    c.send(i, dest=1)
+                return None
+            return [c.recv(source=0), c.recv(source=0)]
+
+        res = run_spmd(2, prog, timeout=5, faults=plan)
+        assert res.results[1] == [0, 2]  # message #1 vanished in transit
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan([MessageDuplicate(src=0, dst=1)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send("once", dest=1)
+                return None
+            return [c.recv(source=0), c.recv(source=0, timeout=1.0)]
+
+        res = run_spmd(2, prog, timeout=5, faults=plan)
+        assert res.results[1] == ["once", "once"]
+
+    def test_delay_holds_message_in_flight(self):
+        plan = FaultPlan([MessageDelay(src=0, dst=1, delay=0.15)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send(41, dest=1)
+                return None
+            return c.recv(source=0) + 1
+
+        t0 = time.perf_counter()
+        res = run_spmd(2, prog, timeout=5, faults=plan)
+        assert time.perf_counter() - t0 >= 0.12
+        assert res.results[1] == 42
+
+    def test_tag_filter_spares_other_tags(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, tag=9)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send("kept", dest=1, tag=3)
+                return None
+            return c.recv(source=0, tag=3)
+
+        res = run_spmd(2, prog, timeout=5, faults=plan)
+        assert res.results[1] == "kept"
+
+
+class TestCorruption:
+    def test_corruption_is_silent_without_checksums(self):
+        """Documents the hazard the checksums close: a corrupted payload
+        flows straight into the application."""
+        plan = FaultPlan([MessageCorruption(src=0, dst=1)], seed=42)
+
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.zeros(8), dest=1)
+                return None
+            return c.recv(source=0)
+
+        res = run_spmd(2, prog, timeout=5, faults=plan)
+        received = res.results[1]
+        assert received.shape == (8,)
+        assert not np.array_equal(received, np.zeros(8))  # one bit flipped
+
+    def test_corruption_detected_at_recv_with_checksums(self):
+        plan = FaultPlan([MessageCorruption(src=0, dst=1, tag=5)], seed=42)
+
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.zeros(8), dest=1, tag=5)
+                return None
+            return c.recv(source=0, tag=5)
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=5, faults=plan, checksums=True)
+        assert exc.value.rank == 1  # caught at the receiver
+        assert isinstance(exc.value.original, CorruptionError)
+        msg = str(exc.value.original)
+        assert "src=0" in msg and "dst=1" in msg and "tag=5" in msg
+
+    def test_corruption_detected_via_irecv(self):
+        plan = FaultPlan([MessageCorruption(src=0, dst=1)], seed=1)
+
+        def prog(c):
+            if c.rank == 0:
+                c.send(b"payload-bytes", dest=1)
+                return None
+            return c.irecv(source=0).wait()
+
+        with pytest.raises(SPMDError) as exc:
+            run_spmd(2, prog, timeout=5, faults=plan, checksums=True)
+        assert isinstance(exc.value.original, CorruptionError)
+
+    def test_non_binary_payload_becomes_corrupted_object(self):
+        plan = FaultPlan([MessageCorruption(src=0, dst=1)])
+
+        def prog(c):
+            if c.rank == 0:
+                c.send({"k": 1}, dest=1)
+                return None
+            return c.recv(source=0)
+
+        res = run_spmd(2, prog, timeout=5, faults=plan)
+        assert isinstance(res.results[1], CorruptedObject)
+
+    def test_clean_payloads_pass_checksums(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.arange(5), dest=1)
+                c.send({"a": [1, 2]}, dest=1)
+                c.send(b"raw", dest=1)
+                return None
+            return (c.recv(source=0), c.recv(source=0), c.recv(source=0))
+
+        res = run_spmd(2, prog, timeout=5, checksums=True)
+        arr, obj, raw = res.results[1]
+        assert np.array_equal(arr, np.arange(5))
+        assert obj == {"a": [1, 2]} and raw == b"raw"
+
+    def test_checksummed_bytes_counted_on_payload_not_envelope(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send(np.zeros(16), dest=1)  # 128 payload bytes
+                return None
+            c.recv(source=0)
+            return None
+
+        stats = run_spmd(2, prog, timeout=5, checksums=True).stats
+        assert stats.ranks[0].total_bytes_sent == 128
+        assert stats.ranks[1].total_bytes_recv == 128
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self):
+        def run_once():
+            plan = FaultPlan([MessageCorruption(src=0, dst=1)], seed=7)
+
+            def prog(c):
+                if c.rank == 0:
+                    c.send(np.zeros(16), dest=1)
+                    return None
+                return c.recv(source=0)
+
+            return run_spmd(2, prog, timeout=5, faults=plan).results[1]
+
+        first, second = run_once(), run_once()
+        assert np.array_equal(first, second)
+
+    def test_same_plan_same_fault_log(self):
+        plan_faults = [
+            CrashFault(rank=1, superstep=2),
+            MessageDrop(src=0, dst=1, nth=0),
+            Straggler(rank=0, superstep=0, delay=0.01),
+        ]
+
+        def run_once():
+            injector = FaultInjector(FaultPlan(plan_faults, seed=3))
+
+            def prog(c):
+                if c.rank == 0:
+                    c.send("x", dest=1)
+                c.barrier()
+                c.barrier()
+                c.allreduce(1)
+                return "ok"
+
+            with pytest.raises(SPMDError):
+                run_spmd(2, prog, timeout=2, faults=injector)
+            return sorted(injector.log)
+
+        assert run_once() == run_once()
+
+
+class TestValidation:
+    def test_crash_fault_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            CrashFault(rank=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            CrashFault(rank=0, superstep=1, event="x")
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            CrashFault(rank=-1, superstep=0)
+        with pytest.raises(ValueError):
+            MessageDrop(src=-1, dst=0)
+
+    def test_unknown_fault_type_rejected(self):
+        with pytest.raises(TypeError, match="unknown fault type"):
+            FaultPlan(["crash rank 3"])
+
+    def test_plan_rank_out_of_world_rejected(self):
+        plan = FaultPlan([CrashFault(rank=5, superstep=0)])
+        with pytest.raises(ValueError, match="rank 5"):
+            run_spmd(2, lambda c: c.barrier(), timeout=2, faults=plan)
