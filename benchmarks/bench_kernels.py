@@ -89,6 +89,24 @@ def test_kernel_distributed_louvain_small(benchmark):
     assert res.modularity > 0.5
 
 
+def test_kernel_distributed_louvain_traced(benchmark):
+    """Same workload as ``test_kernel_distributed_louvain_small`` but with a
+    recorder attached — tracks the cost of *active* tracing.  The disabled
+    path (the default above) is one attribute check per hook and must stay
+    within noise of the untraced number."""
+    from repro.runtime.tracing import TraceRecorder
+
+    graph = load_dataset("lfr").graph
+    res = benchmark.pedantic(
+        lambda: distributed_louvain(
+            graph, 4, DistributedConfig(d_high=64), tracer=TraceRecorder()
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.modularity > 0.5
+
+
 def test_kernel_sweep_gauss_seidel(benchmark, scalefree_graph):
     """Scalar per-vertex sweep on a >=50k-edge scale-free graph.
 

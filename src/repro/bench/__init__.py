@@ -6,6 +6,13 @@ per-experiment index for the mapping.
 """
 
 from repro.bench.datasets import DATASETS, DatasetSpec, LoadedDataset, load_dataset
+from repro.bench.profile import (
+    OverheadReport,
+    ProfileResult,
+    measure_tracer_overhead,
+    profile_distributed,
+    span_table,
+)
 from repro.bench.report import format_table
 from repro.bench import harness
 
@@ -16,4 +23,9 @@ __all__ = [
     "load_dataset",
     "format_table",
     "harness",
+    "ProfileResult",
+    "profile_distributed",
+    "span_table",
+    "OverheadReport",
+    "measure_tracer_overhead",
 ]

@@ -210,13 +210,29 @@ def run_breakdown(
     dataset_name: str = "uk-2007",
     p_sweep: Sequence[int] = (8, 16, 32),
     machine: MachineModel = TITAN_LIKE,
+    trace_out: str | None = None,
 ) -> list[dict]:
     """Stage-1 vs stage-2 times (8a) and the per-iteration phase breakdown
-    of the delegate clustering stage (8b)."""
+    of the delegate clustering stage (8b).
+
+    ``trace_out`` additionally records one Chrome trace per processor count
+    (``<trace_out>.p<P>.json``) for timeline-level drill-down of the same
+    runs the table summarises.
+    """
+    from repro.runtime.tracing import TraceRecorder, save_trace
+
     graph = load_dataset(dataset_name).graph
     rows = []
     for p in p_sweep:
-        res = distributed_louvain(graph, p, _config(p))
+        recorder = TraceRecorder() if trace_out is not None else None
+        res = distributed_louvain(graph, p, _config(p), tracer=recorder)
+        if recorder is not None:
+            save_trace(
+                f"{trace_out}.p{p}.json",
+                res.stats,
+                recorder=recorder,
+                meta={"dataset": dataset_name, "ranks": p},
+            )
         phases = simulate_phase_times(res.stats, machine)
         stage1 = sum(t.total for ph, t in phases.items() if ph.startswith("s1:"))
         stage2 = sum(t.total for ph, t in phases.items() if ph.startswith("s2:"))

@@ -1,0 +1,190 @@
+"""Profiling harness: traced runs, span analysis, tracer-overhead checks.
+
+This is the front door for performance investigations:
+
+* :func:`profile_distributed` runs the distributed pipeline with a
+  :class:`~repro.runtime.tracing.TraceRecorder` attached and returns a
+  :class:`ProfileResult` bundling the result, per-phase simulated times,
+  the communication matrix and the recorded spans — optionally writing the
+  Perfetto-loadable Chrome trace to disk.
+* :func:`span_table` aggregates recorded spans by name (count, total and
+  mean wall-clock), the "where did the time go" view the Chrome timeline
+  shows graphically.
+* :func:`measure_tracer_overhead` quantifies the cost of the tracing hooks
+  when *disabled* — the no-op path every production run takes — by timing
+  identical runs with and without a recorder.  The observability layer's
+  contract is that this stays in the noise (<2%).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.distributed import (
+    DistributedConfig,
+    DistributedResult,
+    distributed_louvain,
+)
+from repro.graph.csr import CSRGraph
+from repro.runtime.costmodel import (
+    MachineModel,
+    TITAN_LIKE,
+    SimulatedTime,
+    simulate_phase_times,
+    simulate_time,
+)
+from repro.runtime.stats import SpanRecord
+from repro.runtime.tracing import TraceRecorder, save_trace
+
+__all__ = [
+    "ProfileResult",
+    "profile_distributed",
+    "span_table",
+    "OverheadReport",
+    "measure_tracer_overhead",
+]
+
+
+@dataclass
+class ProfileResult:
+    """Everything one traced run produced, ready for inspection."""
+
+    result: DistributedResult
+    recorder: TraceRecorder
+    simulated: SimulatedTime
+    phase_times: dict[str, SimulatedTime]
+    comm_bytes: np.ndarray  # p x p, bytes from row rank to column rank
+    comm_messages: np.ndarray
+    trace_path: Path | None = None
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        return self.result.stats.spans
+
+    def level_telemetry(self) -> list[dict[str, Any]]:
+        """Rank-0 convergence telemetry of every level span, in order."""
+        return [
+            dict(s.args, wall_ms=s.dur_us / 1e3)
+            for s in self.spans
+            if s.cat == "level" and s.rank == 0
+        ]
+
+    def summary(self) -> str:
+        lines = [self.result.summary(), "slowest spans (wall-clock):"]
+        for row in span_table(self.spans)[:8]:
+            lines.append(
+                f"  {row['name']:24s} x{row['count']:<5d} "
+                f"total {row['total_ms']:9.3f}ms  mean {row['mean_ms']:7.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+def profile_distributed(
+    graph: CSRGraph,
+    n_ranks: int,
+    config: DistributedConfig | None = None,
+    trace_out: str | Path | None = None,
+    machine: MachineModel = TITAN_LIKE,
+    meta: dict[str, Any] | None = None,
+) -> ProfileResult:
+    """Run distributed Louvain with tracing on and collect every artifact.
+
+    ``trace_out`` writes the Chrome trace-event file (open in Perfetto, or
+    feed to ``repro trace summarize`` / ``repro trace diff``).
+    """
+    recorder = TraceRecorder()
+    result = distributed_louvain(graph, n_ranks, config, tracer=recorder)
+    path: Path | None = None
+    if trace_out is not None:
+        path = Path(trace_out)
+        save_trace(path, result.stats, recorder=recorder, meta=meta)
+    bytes_m, msgs_m = result.stats.comm_matrix()
+    return ProfileResult(
+        result=result,
+        recorder=recorder,
+        simulated=simulate_time(result.stats, machine),
+        phase_times=simulate_phase_times(result.stats, machine),
+        comm_bytes=bytes_m,
+        comm_messages=msgs_m,
+        trace_path=path,
+    )
+
+
+def span_table(spans: list[SpanRecord]) -> list[dict[str, Any]]:
+    """Aggregate spans by name: count, total/mean wall-clock milliseconds,
+    sorted by total descending."""
+    agg: dict[str, list[float]] = {}
+    for s in spans:
+        cell = agg.setdefault(s.name, [0.0, 0.0])
+        cell[0] += 1
+        cell[1] += s.dur_us
+    rows = [
+        {
+            "name": name,
+            "count": int(cell[0]),
+            "total_ms": cell[1] / 1e3,
+            "mean_ms": cell[1] / cell[0] / 1e3,
+        }
+        for name, cell in agg.items()
+    ]
+    rows.sort(key=lambda r: -r["total_ms"])
+    return rows
+
+
+@dataclass
+class OverheadReport:
+    """Timings from :func:`measure_tracer_overhead`."""
+
+    baseline_s: float  # best-of-N wall time without a tracer
+    traced_s: float  # best-of-N wall time with a recorder attached
+    repeats: int
+    n_events: int = 0  # events the traced runs recorded (sanity check)
+
+    @property
+    def overhead(self) -> float:
+        """Relative slowdown of the traced run (0.02 == 2%)."""
+        if self.baseline_s <= 0:
+            return 0.0
+        return (self.traced_s - self.baseline_s) / self.baseline_s
+
+
+def measure_tracer_overhead(
+    graph: CSRGraph,
+    n_ranks: int = 4,
+    config: DistributedConfig | None = None,
+    repeats: int = 3,
+) -> OverheadReport:
+    """Best-of-``repeats`` wall time of identical runs with and without a
+    recorder attached.
+
+    Best-of (not mean) is the standard micro-benchmark estimator here:
+    scheduling noise only ever adds time.  Note this measures the cost of
+    *active* tracing; the disabled-path cost (tracer ``None``, one attribute
+    check per hook) is what production runs pay and is far smaller still.
+    """
+
+    def best(tracer_factory) -> tuple[float, int]:
+        times = []
+        events = 0
+        for _ in range(max(1, repeats)):
+            tracer = tracer_factory()
+            t0 = time.perf_counter()
+            distributed_louvain(graph, n_ranks, config, tracer=tracer)
+            times.append(time.perf_counter() - t0)
+            if tracer is not None:
+                events = tracer.n_events
+        return min(times), events
+
+    baseline_s, _ = best(lambda: None)
+    traced_s, n_events = best(TraceRecorder)
+    return OverheadReport(
+        baseline_s=baseline_s,
+        traced_s=traced_s,
+        repeats=repeats,
+        n_events=n_events,
+    )

@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the measured run statistics as JSON here",
     )
     p.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="record span events and write a Chrome trace-event file "
+        "(Perfetto-loadable; also carries the counter document, so it "
+        "works with `repro trace summarize/diff`)",
+    )
+    p.add_argument(
         "--summary", action="store_true",
         help="print the full run report (phases, traffic, cost model)",
     )
@@ -140,6 +146,31 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("graph")
     r.add_argument("--ranks", type=int, nargs="+", default=[4, 8, 16])
     r.add_argument("--d-high", type=int, default=None)
+
+    # ---- trace ------------------------------------------------------------
+    t = sub.add_parser(
+        "trace", help="inspect and compare saved run traces"
+    )
+    tsub = t.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser(
+        "summarize", help="print the run report stored in a trace file"
+    )
+    ts.add_argument("file", help="trace JSON (from --trace or --trace-out)")
+    td = tsub.add_parser(
+        "diff",
+        help="per-phase regression table between two traces "
+        "(exit 1 on regression)",
+    )
+    td.add_argument("baseline", help="baseline trace JSON")
+    td.add_argument("candidate", help="candidate trace JSON")
+    td.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative increase tolerated before a metric regresses",
+    )
+    td.add_argument(
+        "--show-unchanged", action="store_true",
+        help="also print rows whose value did not change",
+    )
     return parser
 
 
@@ -172,11 +203,17 @@ def _cmd_cluster(args) -> int:
                 args.checkpoint_every_level if args.checkpoint_path else 0
             ),
         )
+        recorder = None
+        if args.trace_out is not None:
+            from repro.runtime.tracing import TraceRecorder
+
+            recorder = TraceRecorder()
         if args.recover:
             from repro.core import run_with_recovery
 
             outcome = run_with_recovery(
-                graph, args.ranks, cfg, max_retries=args.max_retries
+                graph, args.ranks, cfg,
+                max_retries=args.max_retries, tracer=recorder,
             )
             res = outcome.result
             if outcome.recovered:
@@ -185,7 +222,7 @@ def _cmd_cluster(args) -> int:
                     f"resumed from levels {outcome.resumed_levels[1:]}"
                 )
         else:
-            res = distributed_louvain(graph, args.ranks, cfg)
+            res = distributed_louvain(graph, args.ranks, cfg, tracer=recorder)
         assignment, q = res.assignment, res.modularity
         print(
             f"distributed Louvain (p={args.ranks}, {args.heuristic}, "
@@ -200,6 +237,21 @@ def _cmd_cluster(args) -> int:
 
             save_stats(res.stats, args.trace)
             print(f"wrote {args.trace}")
+        if args.trace_out is not None:
+            from repro.runtime.tracing import save_trace
+
+            save_trace(
+                args.trace_out,
+                res.stats,
+                recorder=recorder,
+                meta={
+                    "graph": str(args.graph),
+                    "ranks": args.ranks,
+                    "heuristic": args.heuristic,
+                    "partitioning": args.partitioning,
+                },
+            )
+            print(f"wrote {args.trace_out}")
 
     if args.ground_truth is not None:
         from repro.quality import score_all
@@ -323,6 +375,20 @@ def _cmd_partition_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.runtime.trace import diff_stats, format_diff, load_stats, summarize
+
+    if args.trace_command == "summarize":
+        print(summarize(load_stats(args.file)))
+        return 0
+    # diff
+    base = load_stats(args.baseline)
+    cand = load_stats(args.candidate)
+    diff = diff_stats(base, cand, threshold=args.threshold)
+    print(format_diff(diff, show_unchanged=args.show_unchanged))
+    return 1 if diff.has_regression else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     dispatch = {
@@ -331,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
         "quality": _cmd_quality,
         "info": _cmd_info,
         "partition-report": _cmd_partition_report,
+        "trace": _cmd_trace,
     }
     try:
         return dispatch[args.command](args)

@@ -123,6 +123,7 @@ def resume_distributed_louvain(
     n_ranks: int,
     config=None,
     faults=None,
+    tracer=None,
 ):
     """Continue a run from a checkpoint.
 
@@ -135,8 +136,9 @@ def resume_distributed_louvain(
     If the configuration enables per-level checkpointing, the resumed run
     keeps writing checkpoints expressed on the *original* vertices (level
     numbering continues from ``checkpoint.levels_completed``), so a chain
-    of failures can be recovered step by step.  ``faults`` is forwarded to
-    the simulated runtime (see :mod:`repro.runtime.faults`).
+    of failures can be recovered step by step.  ``faults`` and ``tracer`` are
+    forwarded to the simulated runtime (see :mod:`repro.runtime.faults`
+    and :mod:`repro.runtime.tracing`).
     """
     from dataclasses import replace
 
@@ -151,6 +153,7 @@ def resume_distributed_louvain(
         n_ranks,
         cfg,
         faults=faults,
+        tracer=tracer,
         _ckpt_base=(np.asarray(dense, dtype=np.int64), checkpoint.levels_completed),
     )
     flat = result.assignment[dense]

@@ -91,6 +91,11 @@ class LevelReport:
     # so its state was thrown away and never merged); discarded levels are
     # reported for Fig. 5 but excluded from modularity_per_level
     discarded: bool = False
+    # convergence telemetry from rank 0 (ghost_churn only populated while a
+    # tracer is attached; delegate_bytes is rank 0's share of the consensus
+    # broadcast volume)
+    ghost_churn: list[int] = field(default_factory=list)
+    delegate_bytes: float = 0.0
 
 
 @dataclass
@@ -189,6 +194,26 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
                         )
         comm.fault_event(f"level:{base_levels + completed - 1}")
 
+    def run_level(level: int, clustering: LocalClustering, with_delegates: bool):
+        """One clustering level wrapped in a tracer span carrying its full
+        convergence telemetry (modularity trajectory, moves per sweep,
+        ghost-label churn, delegate broadcast volume)."""
+        with comm.trace_span(f"level {level}", cat="level") as span:
+            outcome = clustering.run()
+            if comm.tracing:
+                span.update(
+                    level=level,
+                    with_delegates=with_delegates,
+                    q_history=outcome.q_history,
+                    moves_history=outcome.moves_history,
+                    ghost_churn=outcome.ghost_churn,
+                    delegate_bytes=outcome.delegate_bytes,
+                    n_iterations=outcome.n_iterations,
+                    converged=outcome.converged,
+                    q_final=outcome.q_final,
+                )
+        return outcome
+
     # ---- stage 2: clustering with delegates (one level) ----------------
     clustering = LocalClustering(
         comm,
@@ -203,7 +228,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
         ghost_mode=cfg.ghost_mode,
         sweep_mode=cfg.sweep_mode,
     )
-    outcome = clustering.run()
+    outcome = run_level(0, clustering, lg.n_hubs > 0)
     reports.append(
         LevelReport(
             level=0,
@@ -213,6 +238,8 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
             q_final=outcome.q_final,
+            ghost_churn=outcome.ghost_churn,
+            delegate_bytes=outcome.delegate_bytes,
         )
     )
     q_prev = outcome.q_final
@@ -238,7 +265,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
             ghost_mode=cfg.ghost_mode,
             sweep_mode=cfg.sweep_mode,
         )
-        outcome = clustering.run()
+        outcome = run_level(level, clustering, False)
         q = outcome.q_final
         reports.append(
             LevelReport(
@@ -249,6 +276,8 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
                 n_iterations=outcome.n_iterations,
                 converged=outcome.converged,
                 q_final=outcome.q_final,
+                ghost_churn=outcome.ghost_churn,
+                delegate_bytes=outcome.delegate_bytes,
             )
         )
         # Alg. 1 line 16: stop on no modularity improvement.  The check
@@ -272,14 +301,20 @@ def distributed_louvain(
     n_ranks: int,
     config: DistributedConfig | None = None,
     faults=None,
+    tracer=None,
     _ckpt_base=None,
 ) -> DistributedResult:
     """Run the full distributed Louvain pipeline on ``n_ranks`` simulated
     processors.
 
     ``faults`` optionally injects a deterministic fault schedule into the
-    simulated runtime (:mod:`repro.runtime.faults`); ``_ckpt_base`` is the
-    internal resume state threaded through by
+    simulated runtime (:mod:`repro.runtime.faults`); ``tracer`` optionally
+    attaches a :class:`~repro.runtime.tracing.TraceRecorder`, which records
+    span/instant events on every rank (per-level convergence telemetry,
+    per-collective timing) and fills ``result.stats.spans`` — pass the same
+    recorder to :func:`~repro.runtime.tracing.save_trace` for a
+    Perfetto-loadable timeline; ``_ckpt_base`` is the internal resume state
+    threaded through by
     :func:`~repro.core.checkpoint.resume_distributed_louvain` so that
     checkpoints written by a resumed run stay expressed on the original
     vertices.
@@ -312,6 +347,7 @@ def distributed_louvain(
         _ckpt_base,
         timeout=cfg.timeout,
         faults=faults,
+        tracer=tracer,
         checksums=cfg.checksums,
     )
     wall = time.perf_counter() - t1
@@ -384,6 +420,7 @@ def run_with_recovery(
     max_retries: int = 3,
     backoff: float = 0.0,
     faults=None,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Supervise a distributed Louvain run: on any :class:`SPMDError`
     (crashed rank, deadlock, detected corruption, ...), reload the latest
@@ -433,11 +470,12 @@ def run_with_recovery(
                     from repro.core.checkpoint import resume_distributed_louvain
 
                     result = resume_distributed_louvain(
-                        graph, checkpoint, n_ranks, cfg, faults=injector
+                        graph, checkpoint, n_ranks, cfg,
+                        faults=injector, tracer=tracer,
                     )
                 else:
                     result = distributed_louvain(
-                        graph, n_ranks, cfg, faults=injector
+                        graph, n_ranks, cfg, faults=injector, tracer=tracer
                     )
                 return RecoveryOutcome(
                     result=result,

@@ -55,6 +55,11 @@ class LevelOutcome:
     n_iterations: int = 0
     converged: bool = True
     q_final: float = 0.0  # Q of the state in comm_of (best iteration)
+    # convergence telemetry (rank-local): ghost labels that actually changed
+    # in each swap_ghost round — only counted while a tracer is attached —
+    # and this rank's wire volume spent on delegate consensus
+    ghost_churn: list[int] = field(default_factory=list)
+    delegate_bytes: float = 0.0
 
 
 class LocalClustering:
@@ -102,6 +107,9 @@ class LocalClustering:
         self._subscribers: dict[int, set[int]] = {}
         # delta-ghost state: labels last sent to each subscriber peer
         self._prev_ghost_sent: dict[int, np.ndarray] = {}
+        # telemetry accumulators (see LevelOutcome)
+        self._ghost_churn: list[int] = []
+        self._delegate_bytes = 0.0
         # vectorized-sweep iteration parity (drives the oscillation damper)
         self._vec_iter = 0
         self.two_m = 2.0 * lg.m_global if lg.m_global > 0 else 1.0
@@ -599,6 +607,8 @@ class LocalClustering:
 
     def _swap_ghosts_full(self) -> None:
         comm = self.comm
+        count_churn = comm.tracing  # churn telemetry only when traced
+        churn = 0
         payloads: list[np.ndarray] = []
         for r in range(comm.size):
             idx = self._send_idx.get(r)
@@ -607,7 +617,11 @@ class LocalClustering:
         for r, values in enumerate(received):
             idx = self._recv_idx.get(r)
             if idx is not None and len(values):
+                if count_churn:
+                    churn += int(np.count_nonzero(self.comm_of[idx] != values))
                 self.comm_of[idx] = values
+        if count_churn:
+            self._ghost_churn.append(churn)
 
     def _swap_ghosts_delta(self) -> None:
         """Send only owned-vertex labels that changed since the last swap.
@@ -636,11 +650,19 @@ class LocalClustering:
                 send_labels = labels[changed]
             self._prev_ghost_sent[r] = labels.copy()
             payloads.append((positions, send_labels))
+        count_churn = comm.tracing
+        churn = 0
         received = comm.alltoall(payloads)
         for r, (positions, values) in enumerate(received):
             idx = self._recv_idx.get(r)
             if idx is not None and len(values):
+                if count_churn:
+                    churn += int(
+                        np.count_nonzero(self.comm_of[idx[positions]] != values)
+                    )
                 self.comm_of[idx[positions]] = values
+        if count_churn:
+            self._ghost_churn.append(churn)
 
     # ------------------------------------------------------------------
     # Driver
@@ -656,11 +678,16 @@ class LocalClustering:
         best_q = -np.inf
         best_comm: np.ndarray | None = None
         stall = 0
+        bcast_key = self.pfx + "bcast_delegates"
         for _it in range(self.max_inner):
             with comm.phase(self.pfx + "find_best"):
                 moved, hub_gain, hub_target = self.find_best_pass()
-            with comm.phase(self.pfx + "bcast_delegates"):
+            bytes_before = comm.stats.bytes_sent_by_phase.get(bcast_key, 0.0)
+            with comm.phase(bcast_key):
                 moved += self.broadcast_delegates(hub_gain, hub_target)
+            self._delegate_bytes += (
+                comm.stats.bytes_sent_by_phase.get(bcast_key, 0.0) - bytes_before
+            )
             with comm.phase(self.pfx + "swap_ghost"):
                 self.swap_ghosts()
             with comm.phase(self.pfx + "other"):
@@ -668,6 +695,13 @@ class LocalClustering:
                 total_moves = int(comm.allreduce(moved))
             q_history.append(q)
             moves_history.append(total_moves)
+            comm.trace_instant(
+                "iteration",
+                cat="louvain",
+                q=q,
+                moves=total_moves,
+                ghost_churn=self._ghost_churn[-1] if self._ghost_churn else None,
+            )
             # q is allreduced, so every rank snapshots/stalls identically
             if q > best_q + self.theta:
                 best_q = q
@@ -697,4 +731,6 @@ class LocalClustering:
             n_iterations=len(moves_history),
             converged=converged,
             q_final=float(best_q) if best_comm is not None else 0.0,
+            ghost_churn=self._ghost_churn,
+            delegate_bytes=self._delegate_bytes,
         )

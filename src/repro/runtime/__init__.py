@@ -24,8 +24,15 @@ from repro.runtime.comm import (
     Request,
 )
 from repro.runtime.engine import run_spmd, SPMDError
-from repro.runtime.stats import RankStats, RunStats, payload_nbytes, payload_checksum
+from repro.runtime.stats import (
+    RankStats,
+    RunStats,
+    SpanRecord,
+    payload_nbytes,
+    payload_checksum,
+)
 from repro.runtime.costmodel import MachineModel, SimulatedTime, simulate_time
+from repro.runtime.tracing import TraceRecorder, save_trace
 from repro.runtime.faults import (
     FaultPlan,
     FaultInjector,
@@ -51,8 +58,11 @@ __all__ = [
     "SPMDError",
     "RankStats",
     "RunStats",
+    "SpanRecord",
     "payload_nbytes",
     "payload_checksum",
+    "TraceRecorder",
+    "save_trace",
     "MachineModel",
     "SimulatedTime",
     "simulate_time",

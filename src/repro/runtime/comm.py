@@ -233,6 +233,33 @@ class _World:
             return payload
 
 
+class _TraceSpan:
+    """Context manager behind ``trace_span``: yields a mutable args dict the
+    caller may fill while the span is open; emits one complete event at exit
+    (no-op with no tracer, so algorithm code never branches on tracing)."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "args", "_t0")
+
+    def __init__(self, tracer, name: str, cat: str, args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self.args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> dict:
+        if self._tracer is not None:
+            self._t0 = time.perf_counter()
+        return self.args
+
+    def __exit__(self, *exc) -> bool:
+        if self._tracer is not None:
+            self._tracer.complete(
+                self._name, self._t0, cat=self._cat, args=self.args or None
+            )
+        return False
+
+
 class SimComm:
     """Per-rank handle on the simulated world.
 
@@ -240,18 +267,41 @@ class SimComm:
     an ``MPI.Comm``) and must only ever use its own instance.
     """
 
-    def __init__(self, world: _World, rank: int, stats: RankStats) -> None:
+    def __init__(
+        self, world: _World, rank: int, stats: RankStats, tracer=None
+    ) -> None:
         self._world = world
         self.rank = rank
         self.size = world.size
         self.stats = stats
         self._gen = 0
         self._phase = "other"
+        # RankTracer | None; None is the near-zero-overhead default — every
+        # hot path pays exactly one attribute check
+        self._tracer = tracer
+        # comm-matrix attribution for the tree collectives (bcast /
+        # allreduce): the log2(p) recursive-doubling partners of this rank.
+        # XOR gives the textbook partner; the additive fallback covers
+        # non-power-of-two worlds (never self: 0 < 2^k < p).
+        if world.size > 1:
+            partners = []
+            for k in range(max(1, math.ceil(math.log2(world.size)))):
+                partner = rank ^ (1 << k)
+                if partner >= world.size:
+                    partner = (rank + (1 << k)) % world.size
+                partners.append(partner)
+            self._tree_partners: list[int] = partners
+        else:
+            self._tree_partners = []
 
     # ------------------------------------------------------------------
     # Phase tagging (drives the Fig. 8(b) execution-time breakdown)
     # ------------------------------------------------------------------
     def set_phase(self, name: str) -> None:
+        if self._tracer is not None and name != self._phase:
+            self._tracer.instant(
+                "set_phase", cat="phase", args={"from": self._phase, "to": name}
+            )
         self._phase = name
 
     class _PhaseCtx:
@@ -259,14 +309,19 @@ class SimComm:
             self._comm = comm
             self._name = name
             self._prev = comm._phase
+            self._t0 = 0.0
 
         def __enter__(self):
             self._prev = self._comm._phase
             self._comm._phase = self._name
+            if self._comm._tracer is not None:
+                self._t0 = time.perf_counter()
             return self._comm
 
         def __exit__(self, *exc):
             self._comm._phase = self._prev
+            if self._comm._tracer is not None:
+                self._comm._tracer.complete(self._name, self._t0, cat="phase")
             return False
 
     def phase(self, name: str) -> "SimComm._PhaseCtx":
@@ -276,6 +331,40 @@ class SimComm:
     def add_compute(self, units: float) -> None:
         """Record abstract compute work (units == scanned edge endpoints)."""
         self.stats.add_compute(units, self._phase)
+
+    # ------------------------------------------------------------------
+    # Tracing hooks (no-ops unless a tracer is attached, see
+    # :mod:`repro.runtime.tracing`)
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """True when a tracer is attached; algorithm code gates *extra*
+        telemetry computation (e.g. ghost-churn counting) on this."""
+        return self._tracer is not None
+
+    def trace_span(self, name: str, cat: str = "", **args) -> _TraceSpan:
+        """Open an algorithm-level span; yields a mutable args dict whose
+        final contents become the span's payload (e.g. per-level
+        convergence telemetry)."""
+        return _TraceSpan(self._tracer, name, cat, args)
+
+    def trace_instant(self, name: str, cat: str = "", **args) -> None:
+        """Emit a point event (e.g. per-iteration modularity)."""
+        if self._tracer is not None:
+            self._tracer.instant(name, cat=cat, args=args or None)
+
+    def _trace_coll(self, t0: float, name: str, sent: float, recv: float) -> None:
+        if self._tracer is not None:
+            self._tracer.complete(
+                name,
+                t0,
+                cat="collective",
+                args={
+                    "phase": self._phase,
+                    "bytes_sent": sent,
+                    "bytes_recv": recv,
+                },
+            )
 
     def fault_event(self, name: str) -> None:
         """Named synchronisation point for fault triggers (no-op unless a
@@ -294,7 +383,20 @@ class SimComm:
         # self-sends are legal in MPI and deliver through the mailbox, but
         # they never touch the wire, so they must not count as traffic
         if dest != self.rank:
-            self.stats.add_sent(payload_nbytes(obj), self._phase)
+            nbytes = payload_nbytes(obj)
+            self.stats.add_sent(nbytes, self._phase)
+            self.stats.add_edge(dest, nbytes, self._phase)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "send",
+                    cat="p2p",
+                    args={
+                        "dst": dest,
+                        "tag": tag,
+                        "bytes": nbytes,
+                        "phase": self._phase,
+                    },
+                )
         deliveries: list[Any] = [obj]
         delay = 0.0
         injector = self._world.injector
@@ -326,12 +428,28 @@ class SimComm:
     def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
         if not 0 <= source < self.size:
             raise CommError(f"recv: bad source rank {source}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         payload = self._world.take(
             source, self.rank, tag, timeout or self._world.timeout
         )
         payload = self._open_envelope(source, tag, payload)
+        nbytes = 0
         if source != self.rank:
-            self.stats.add_recv(payload_nbytes(payload), self._phase)
+            nbytes = payload_nbytes(payload)
+            self.stats.add_recv(nbytes, self._phase)
+        if self._tracer is not None:
+            # span, not instant: the duration is the blocking wait time
+            self._tracer.complete(
+                "recv",
+                t0,
+                cat="p2p",
+                args={
+                    "src": source,
+                    "tag": tag,
+                    "bytes": nbytes,
+                    "phase": self._phase,
+                },
+            )
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -355,8 +473,21 @@ class SimComm:
                 ok, payload = self._world.try_take(source, self.rank, tag)
             if ok:
                 payload = self._open_envelope(source, tag, payload)
+                nbytes = 0
                 if source != self.rank:
-                    self.stats.add_recv(payload_nbytes(payload), self._phase)
+                    nbytes = payload_nbytes(payload)
+                    self.stats.add_recv(nbytes, self._phase)
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "irecv",
+                        cat="p2p",
+                        args={
+                            "src": source,
+                            "tag": tag,
+                            "bytes": nbytes,
+                            "phase": self._phase,
+                        },
+                    )
             return ok, payload
 
         return Request(fetch=fetch)
@@ -375,10 +506,13 @@ class SimComm:
         return g
 
     def barrier(self) -> None:
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         self._world.exchange(self.rank, self._next_gen(), None, op="barrier")
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "barrier", 0.0, 0.0)
 
     def allgather(self, value: Any) -> list[Any]:
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         nbytes = payload_nbytes(value)
         out = self._world.exchange(
             self.rank, self._next_gen(), value, op="allgather"
@@ -386,11 +520,16 @@ class SimComm:
         # alltoall rule: zero-byte payloads put no messages on the wire
         n_msgs = self.size - 1 if nbytes > 0 else 0
         self.stats.add_sent(nbytes * (self.size - 1), self._phase, n_msgs)
-        self.stats.add_recv(
-            sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
-            self._phase,
+        if nbytes > 0:
+            for peer in range(self.size):
+                if peer != self.rank:
+                    self.stats.add_edge(peer, nbytes, self._phase)
+        recv = sum(
+            payload_nbytes(v) for i, v in enumerate(out) if i != self.rank
         )
+        self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "allgather", nbytes * (self.size - 1), recv)
         return out
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
@@ -399,29 +538,30 @@ class SimComm:
             raise CommError(
                 f"alltoall: expected {self.size} payloads, got {len(values)}"
             )
-        sent = sum(
-            payload_nbytes(v) for i, v in enumerate(values) if i != self.rank
-        )
-        n_msgs = sum(
-            1
-            for i, v in enumerate(values)
-            if i != self.rank and payload_nbytes(v) > 0
-        )
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        nb = [payload_nbytes(v) for v in values]
+        sent = sum(b for i, b in enumerate(nb) if i != self.rank)
+        n_msgs = sum(1 for i, b in enumerate(nb) if i != self.rank and b > 0)
         self.stats.add_sent(sent, self._phase, n_msgs)
+        for i, b in enumerate(nb):
+            if i != self.rank and b > 0:
+                self.stats.add_edge(i, b, self._phase)
         rows = self._world.exchange(
             self.rank, self._next_gen(), list(values), op="alltoall"
         )
         out = [rows[src][self.rank] for src in range(self.size)]
-        self.stats.add_recv(
-            sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
-            self._phase,
+        recv = sum(
+            payload_nbytes(v) for i, v in enumerate(out) if i != self.rank
         )
+        self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "alltoall", sent, recv)
         return out
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         if not 0 <= root < self.size:
             raise CommError(f"bcast: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         out = self._world.exchange(
             self.rank,
             self._next_gen(),
@@ -431,47 +571,68 @@ class SimComm:
         result = out[root]
         log_p = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
         nbytes = payload_nbytes(result)
+        sent = 0.0
+        recv = 0.0
         if self.size > 1:
             # binomial-tree volume: every rank forwards at most log2(p) copies
-            self.stats.add_sent(
-                nbytes * log_p, self._phase, log_p if nbytes > 0 else 0
-            )
-            self.stats.add_recv(nbytes, self._phase)
+            sent = nbytes * log_p
+            recv = nbytes
+            self.stats.add_sent(sent, self._phase, log_p if nbytes > 0 else 0)
+            if nbytes > 0:
+                for peer in self._tree_partners:
+                    self.stats.add_edge(peer, nbytes, self._phase)
+            self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "bcast", sent, recv)
         return result
 
     def allreduce(self, value: Any, op: Callable = reducers.SUM) -> Any:
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         out = self._world.exchange(
             self.rank, self._next_gen(), value, op="allreduce"
         )
         result = reducers.reduce_values(out, op)
+        sent = 0.0
+        recv = 0.0
         if self.size > 1:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(value)
             # recursive-doubling volume
-            self.stats.add_sent(
-                nbytes * log_p, self._phase, log_p if nbytes > 0 else 0
-            )
-            self.stats.add_recv(nbytes * log_p, self._phase)
+            sent = nbytes * log_p
+            recv = nbytes * log_p
+            self.stats.add_sent(sent, self._phase, log_p if nbytes > 0 else 0)
+            if nbytes > 0:
+                for peer in self._tree_partners:
+                    self.stats.add_edge(peer, nbytes, self._phase)
+            self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "allreduce", sent, recv)
         return result
 
     def reduce(self, value: Any, op: Callable = reducers.SUM, root: int = 0) -> Any:
         if not 0 <= root < self.size:
             raise CommError(f"reduce: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         out = self._world.exchange(
             self.rank, self._next_gen(), value, op=f"reduce(root={root})"
         )
+        sent = 0.0
+        recv = 0.0
         if self.size > 1:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(value)
             # reduce tree: every non-root rank sends (at least) its own
             # payload towards the root; the root only receives
             if self.rank != root:
+                sent = nbytes
                 self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
+                if nbytes > 0:
+                    self.stats.add_edge(root, nbytes, self._phase)
             else:
-                self.stats.add_recv(nbytes * log_p, self._phase)
+                recv = nbytes * log_p
+                self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "reduce", sent, recv)
         if self.rank == root:
             return reducers.reduce_values(out, op)
         return None
@@ -479,42 +640,58 @@ class SimComm:
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         if not 0 <= root < self.size:
             raise CommError(f"gather: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
         out = self._world.exchange(
             self.rank, self._next_gen(), value, op=f"gather(root={root})"
         )
+        sent = 0.0
+        recv = 0.0
         if self.rank != root:
             nbytes = payload_nbytes(value)
+            sent = nbytes
             self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
+            if nbytes > 0:
+                self.stats.add_edge(root, nbytes, self._phase)
         else:
-            self.stats.add_recv(
-                sum(payload_nbytes(v) for i, v in enumerate(out) if i != root),
-                self._phase,
+            recv = sum(
+                payload_nbytes(v) for i, v in enumerate(out) if i != root
             )
+            self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "gather", sent, recv)
         return list(out) if self.rank == root else None
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
         if not 0 <= root < self.size:
             raise CommError(f"scatter: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        sent = 0.0
         if self.rank == root:
             if values is None or len(values) != self.size:
                 raise CommError(
                     f"scatter: root must supply exactly {self.size} payloads"
                 )
             payload = list(values)
-            sizes = [
-                payload_nbytes(v) for i, v in enumerate(values) if i != root
+            per_peer = [
+                (i, payload_nbytes(v)) for i, v in enumerate(values) if i != root
             ]
+            sent = float(sum(s for _, s in per_peer))
             self.stats.add_sent(
-                sum(sizes), self._phase, sum(1 for s in sizes if s > 0)
+                sent, self._phase, sum(1 for _, s in per_peer if s > 0)
             )
+            for i, s in per_peer:
+                if s > 0:
+                    self.stats.add_edge(i, s, self._phase)
         else:
             payload = None
         out = self._world.exchange(
             self.rank, self._next_gen(), payload, op=f"scatter(root={root})"
         )
         mine = out[root][self.rank]
+        recv = 0.0
         if self.rank != root:
-            self.stats.add_recv(payload_nbytes(mine), self._phase)
+            recv = payload_nbytes(mine)
+            self.stats.add_recv(recv, self._phase)
         self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "scatter", sent, recv)
         return mine

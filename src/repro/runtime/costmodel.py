@@ -80,14 +80,19 @@ def simulate_time(stats: RunStats, machine: MachineModel = TITAN_LIKE) -> Simula
                 max_b = max(max_b, st.bytes_sent)
         compute += max_c
         bandwidth += max_b
-    # trailing open work (after the last collective)
+    # trailing open work (after the last collective): normally flushed into
+    # a final superstep by the engine, but counted here too for RankStats
+    # populated outside run_spmd
     tail_c = max((r._open.compute for r in stats.ranks), default=0.0)
     tail_b = max((r._open.bytes_sent for r in stats.ranks), default=0.0)
     compute += tail_c
     bandwidth += tail_b
+    # alpha is charged per *synchronisation*, not per logged superstep: a
+    # flushed trailing superstep carries work but no barrier
+    n_syncs = max((r.total_collectives for r in stats.ranks), default=0)
     return SimulatedTime(
         compute=compute * machine.t_unit,
-        latency=n_steps * machine.alpha,
+        latency=n_syncs * machine.alpha,
         bandwidth=bandwidth * machine.beta,
     )
 

@@ -36,6 +36,7 @@ def run_spmd(
     timeout: float = 120.0,
     faults: Any = None,
     checksums: bool = False,
+    tracer: Any = None,
     **kwargs: Any,
 ) -> SPMDResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
@@ -57,6 +58,12 @@ def run_spmd(
     checksums:
         Verify a CRC32 of every point-to-point payload at ``recv``;
         corruption raises :class:`~repro.runtime.comm.CorruptionError`.
+    tracer:
+        Optional :class:`~repro.runtime.tracing.TraceRecorder`; every rank
+        then emits span/instant events for phases, collectives and p2p
+        traffic, and the run's completed spans are attached to
+        ``result.stats.spans``.  ``None`` (default) traces nothing and adds
+        no measurable overhead.
 
     Returns
     -------
@@ -86,12 +93,18 @@ def run_spmd(
     errors: list[BaseException | None] = [None] * n_ranks
 
     def worker(rank: int) -> None:
-        comm = SimComm(world, rank, rank_stats[rank])
+        rank_tracer = tracer.rank(rank) if tracer is not None else None
+        comm = SimComm(world, rank, rank_stats[rank], tracer=rank_tracer)
         try:
             results[rank] = fn(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - must not leak threads
             errors[rank] = exc
             world.abort()
+        finally:
+            # flush trailing activity (work after the rank's last
+            # collective) so the superstep log agrees with the per-phase
+            # totals — also on failure, for post-mortem traces
+            rank_stats[rank].flush()
 
     threads = [
         threading.Thread(target=worker, args=(r,), name=f"simrank-{r}", daemon=True)
@@ -109,7 +122,10 @@ def run_spmd(
     for rank, exc in enumerate(errors):
         if exc is not None:
             raise SPMDError(rank, exc) from exc
-    return SPMDResult(results=results, stats=RunStats(ranks=rank_stats))
+    stats = RunStats(ranks=rank_stats)
+    if tracer is not None:
+        stats.spans = tracer.span_records()
+    return SPMDResult(results=results, stats=stats)
 
 
 def _is_secondary_abort(exc: BaseException) -> bool:

@@ -28,7 +28,7 @@ import math
 from typing import Any, Callable, Sequence
 
 from repro.runtime import reducers
-from repro.runtime.comm import CommError
+from repro.runtime.comm import CommError, _TraceSpan
 from repro.runtime.stats import RankStats, payload_nbytes
 
 __all__ = ["MPIAdapter"]
@@ -37,16 +37,39 @@ __all__ = ["MPIAdapter"]
 class MPIAdapter:
     """SimComm-compatible facade over an mpi4py-style communicator."""
 
-    def __init__(self, mpi_comm, stats: RankStats | None = None) -> None:
+    def __init__(self, mpi_comm, stats: RankStats | None = None, tracer=None) -> None:
         self._mpi = mpi_comm
         self.rank = int(mpi_comm.Get_rank())
         self.size = int(mpi_comm.Get_size())
         self.stats = stats if stats is not None else RankStats(rank=self.rank)
         self._phase = "other"
+        self._tracer = tracer  # RankTracer | None, same contract as SimComm
+        # comm-matrix partners for tree collectives (same model as SimComm)
+        if self.size > 1:
+            partners = []
+            for k in range(max(1, math.ceil(math.log2(self.size)))):
+                partner = self.rank ^ (1 << k)
+                if partner >= self.size:
+                    partner = (self.rank + (1 << k)) % self.size
+                partners.append(partner)
+            self._tree_partners: list[int] = partners
+        else:
+            self._tree_partners = []
 
     # -- instrumentation (identical to SimComm) --------------------------
     def set_phase(self, name: str) -> None:
         self._phase = name
+
+    @property
+    def tracing(self) -> bool:
+        return self._tracer is not None
+
+    def trace_span(self, name: str, cat: str = "", **args) -> _TraceSpan:
+        return _TraceSpan(self._tracer, name, cat, args)
+
+    def trace_instant(self, name: str, cat: str = "", **args) -> None:
+        if self._tracer is not None:
+            self._tracer.instant(name, cat=cat, args=args or None)
 
     class _PhaseCtx:
         def __init__(self, comm: "MPIAdapter", name: str) -> None:
@@ -76,7 +99,9 @@ class MPIAdapter:
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:
             raise CommError(f"send: bad destination rank {dest}")
-        self.stats.add_sent(payload_nbytes(obj), self._phase)
+        nbytes = payload_nbytes(obj)
+        self.stats.add_sent(nbytes, self._phase)
+        self.stats.add_edge(dest, nbytes, self._phase)
         self._mpi.send(obj, dest=dest, tag=tag)
 
     def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
@@ -95,6 +120,9 @@ class MPIAdapter:
         nbytes = payload_nbytes(value)
         out = list(self._mpi.allgather(value))
         self.stats.add_sent(nbytes * (self.size - 1), self._phase, self.size - 1)
+        for peer in range(self.size):
+            if peer != self.rank:
+                self.stats.add_edge(peer, nbytes, self._phase)
         self.stats.add_recv(
             sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
             self._phase,
@@ -107,10 +135,12 @@ class MPIAdapter:
             raise CommError(
                 f"alltoall: expected {self.size} payloads, got {len(values)}"
             )
-        sent = sum(
-            payload_nbytes(v) for i, v in enumerate(values) if i != self.rank
-        )
+        nb = [payload_nbytes(v) for v in values]
+        sent = sum(b for i, b in enumerate(nb) if i != self.rank)
         self.stats.add_sent(sent, self._phase, self.size - 1)
+        for i, b in enumerate(nb):
+            if i != self.rank:
+                self.stats.add_edge(i, b, self._phase)
         out = list(self._mpi.alltoall(list(values)))
         self.stats.add_recv(
             sum(payload_nbytes(v) for i, v in enumerate(out) if i != self.rank),
@@ -127,6 +157,8 @@ class MPIAdapter:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(result)
             self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            for peer in self._tree_partners:
+                self.stats.add_edge(peer, nbytes, self._phase)
             self.stats.add_recv(nbytes, self._phase)
         self.stats.close_superstep(self._phase)
         return result
@@ -141,6 +173,8 @@ class MPIAdapter:
             log_p = max(1, math.ceil(math.log2(self.size)))
             nbytes = payload_nbytes(value)
             self.stats.add_sent(nbytes * log_p, self._phase, log_p)
+            for peer in self._tree_partners:
+                self.stats.add_edge(peer, nbytes, self._phase)
             self.stats.add_recv(nbytes * log_p, self._phase)
         self.stats.close_superstep(self._phase)
         return result
@@ -150,7 +184,9 @@ class MPIAdapter:
             raise CommError(f"gather: bad root {root}")
         out = self._mpi.gather(value, root=root)
         if self.rank != root:
-            self.stats.add_sent(payload_nbytes(value), self._phase)
+            nbytes = payload_nbytes(value)
+            self.stats.add_sent(nbytes, self._phase)
+            self.stats.add_edge(root, nbytes, self._phase)
         elif out is not None:
             self.stats.add_recv(
                 sum(payload_nbytes(v) for i, v in enumerate(out) if i != root),
@@ -167,11 +203,14 @@ class MPIAdapter:
                 raise CommError(
                     f"scatter: root must supply exactly {self.size} payloads"
                 )
+            per_peer = [
+                (i, payload_nbytes(v)) for i, v in enumerate(values) if i != root
+            ]
             self.stats.add_sent(
-                sum(payload_nbytes(v) for i, v in enumerate(values) if i != root),
-                self._phase,
-                self.size - 1,
+                sum(s for _, s in per_peer), self._phase, self.size - 1
             )
+            for i, s in per_peer:
+                self.stats.add_edge(i, s, self._phase)
         mine = self._mpi.scatter(list(values) if values is not None else None, root=root)
         if self.rank != root:
             self.stats.add_recv(payload_nbytes(mine), self._phase)

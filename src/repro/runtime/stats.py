@@ -22,6 +22,7 @@ __all__ = [
     "RankStats",
     "RunStats",
     "Superstep",
+    "SpanRecord",
 ]
 
 
@@ -82,6 +83,34 @@ class Superstep:
     messages: int = 0
     phase: str = ""
 
+    @property
+    def is_empty(self) -> bool:
+        return (
+            self.compute == 0.0
+            and self.bytes_sent == 0.0
+            and self.bytes_recv == 0.0
+            and self.messages == 0
+        )
+
+
+@dataclass
+class SpanRecord:
+    """One completed tracer span (see :mod:`repro.runtime.tracing`).
+
+    Timestamps are microseconds relative to the run's trace epoch, matching
+    the Chrome trace-event convention, so a record maps 1:1 onto a
+    ``ph == "X"`` event.  ``args`` must stay JSON-serialisable: that is what
+    lets level-telemetry spans (modularity trajectory, moves per sweep, ...)
+    survive the v2 trace-file round trip.
+    """
+
+    name: str
+    rank: int
+    ts_us: float
+    dur_us: float
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
 
 @dataclass
 class RankStats:
@@ -102,6 +131,15 @@ class RankStats:
     )
     collectives_by_phase: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
+    )
+    # p2p communication matrix row: phase -> destination rank -> [bytes,
+    # messages].  Every wire transfer recorded by add_sent is also
+    # attributed to a concrete peer here (collectives use the pairwise /
+    # tree-partner models of repro.runtime.comm), so for every phase the
+    # row sums reproduce bytes_sent_by_phase / messages_sent_by_phase
+    # exactly and RunStats.comm_matrix() can assemble the full p x p view.
+    sent_to_by_phase: dict[str, dict[int, list[float]]] = field(
+        default_factory=dict
     )
     supersteps: list[Superstep] = field(default_factory=list)
     _open: Superstep = field(default_factory=Superstep)
@@ -124,6 +162,22 @@ class RankStats:
     def add_recv(self, nbytes: float, phase: str) -> None:
         self.bytes_recv_by_phase[phase] += nbytes
         self._open.bytes_recv += nbytes
+        if not self._open.phase:  # a receive-only superstep still has a phase
+            self._open.phase = phase
+
+    def add_edge(
+        self, dst: int, nbytes: float, phase: str, messages: int = 1
+    ) -> None:
+        """Attribute an already-counted send to a concrete peer (comm
+        matrix).  Totals are NOT touched — callers pair this with
+        :meth:`add_sent`."""
+        row = self.sent_to_by_phase.setdefault(phase, {})
+        cell = row.get(dst)
+        if cell is None:
+            row[dst] = [nbytes, float(messages)]
+        else:
+            cell[0] += nbytes
+            cell[1] += messages
 
     def close_superstep(self, phase: str) -> None:
         """Called by every collective: ends the current BSP superstep."""
@@ -132,6 +186,19 @@ class RankStats:
             self._open.phase = phase
         self.supersteps.append(self._open)
         self._open = Superstep()
+
+    def flush(self) -> None:
+        """Close the trailing superstep at the end of an SPMD program.
+
+        Work recorded after a rank's last collective would otherwise stay
+        in ``_open`` forever, making the superstep log disagree with the
+        per-phase totals.  Called by the engine when a worker exits (even
+        on failure); empty tails do not append a superstep, so programs
+        ending on a collective keep their exact superstep count.
+        """
+        if not self._open.is_empty:
+            self.supersteps.append(self._open)
+            self._open = Superstep()
 
     # -- summaries -----------------------------------------------------
     @property
@@ -160,6 +227,9 @@ class RunStats:
     """Counters for a whole SPMD run (one :func:`repro.runtime.run_spmd`)."""
 
     ranks: list[RankStats]
+    # completed tracer spans (empty unless the run had a tracer attached);
+    # carried here so trace files serialise counters and spans together
+    spans: list[SpanRecord] = field(default_factory=list)
 
     @property
     def size(self) -> int:
@@ -172,15 +242,40 @@ class RunStats:
         return np.asarray([r.total_bytes_sent for r in self.ranks])
 
     def phases(self) -> list[str]:
-        seen: dict[str, None] = {}
+        """All phase tags seen anywhere in the run, sorted.
+
+        Per-rank dict insertion order differs across ranks (and therefore
+        across runs), so the union is returned in lexicographic order to
+        keep ``summarize()`` / trace output deterministic run-to-run.
+        """
+        seen: set[str] = set()
         for r in self.ranks:
-            for ph in r.compute_by_phase:
-                seen.setdefault(ph, None)
-            for ph in r.bytes_sent_by_phase:
-                seen.setdefault(ph, None)
-            for ph in r.collectives_by_phase:
-                seen.setdefault(ph, None)
-        return list(seen)
+            seen.update(r.compute_by_phase)
+            seen.update(r.bytes_sent_by_phase)
+            seen.update(r.bytes_recv_by_phase)
+            seen.update(r.collectives_by_phase)
+        return sorted(seen)
+
+    def comm_matrix(self, phase: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """The p x p communication matrix ``(bytes, messages)``.
+
+        ``bytes[i, j]`` is the wire volume rank ``i`` sent to rank ``j``
+        (restricted to ``phase`` when given).  Point-to-point sends and the
+        pairwise collectives attribute exactly; ``bcast``/``allreduce`` use
+        the tree-partner model of :mod:`repro.runtime.comm`, so row sums
+        always equal the per-phase ``bytes_sent`` totals.
+        """
+        p = self.size
+        bytes_m = np.zeros((p, p))
+        msgs_m = np.zeros((p, p))
+        for r in self.ranks:
+            for ph, row in r.sent_to_by_phase.items():
+                if phase is not None and ph != phase:
+                    continue
+                for dst, (b, m) in row.items():
+                    bytes_m[r.rank, dst] += b
+                    msgs_m[r.rank, dst] += m
+        return bytes_m, msgs_m
 
     def phase_compute(self, phase: str) -> np.ndarray:
         return np.asarray([r.compute_by_phase.get(phase, 0.0) for r in self.ranks])

@@ -1,28 +1,58 @@
 """Run-trace export: persist measured statistics for offline analysis.
 
 A :class:`~repro.runtime.stats.RunStats` (what every distributed run
-returns) serialises to a plain-JSON document with per-rank phase totals and
-the full superstep log, so performance investigations don't require holding
-the Python objects — the same role MPI profiling dumps play in the paper's
-workflow.
+returns) serialises to a plain-JSON document with per-rank phase totals,
+the full superstep log, the p x p communication matrix and any tracer
+spans, so performance investigations don't require holding the Python
+objects — the same role MPI profiling dumps play in the paper's workflow.
+
+Format history:
+
+* **v1** — per-rank phase totals + superstep log.
+* **v2** — adds ``sent_to_by_phase`` (the per-rank comm-matrix row) and a
+  top-level ``spans`` list (completed tracer spans with their telemetry
+  args).  v1 files still load — they simply carry an empty matrix and no
+  spans.
+
+:func:`load_stats` also accepts Chrome trace-event files written by
+:func:`repro.runtime.tracing.save_trace` (the counter document is embedded
+under their ``"repro"`` key), so every file the tooling produces is
+summarizable and diffable with the same CLI verbs.
+
+:func:`diff_stats` turns two traces into a per-phase regression table —
+the workflow that makes benchmark runs diffable artifacts: CI runs a traced
+benchmark, diffs against a committed baseline, and fails on a traffic or
+work regression beyond the threshold.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.runtime.costmodel import MachineModel, TITAN_LIKE, simulate_time
-from repro.runtime.stats import RankStats, RunStats, Superstep
+from repro.runtime.stats import RankStats, RunStats, SpanRecord, Superstep
 
-__all__ = ["stats_to_dict", "stats_from_dict", "save_stats", "load_stats", "summarize"]
+__all__ = [
+    "stats_to_dict",
+    "stats_from_dict",
+    "save_stats",
+    "load_stats",
+    "summarize",
+    "diff_stats",
+    "format_diff",
+    "MetricDelta",
+    "TraceDiff",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def stats_to_dict(stats: RunStats) -> dict[str, Any]:
-    """Serialise to plain JSON-compatible data."""
+    """Serialise to plain JSON-compatible data (current = v2)."""
     return {
         "format_version": _FORMAT_VERSION,
         "n_ranks": stats.size,
@@ -34,6 +64,10 @@ def stats_to_dict(stats: RunStats) -> dict[str, Any]:
                 "bytes_recv_by_phase": dict(r.bytes_recv_by_phase),
                 "messages_sent_by_phase": dict(r.messages_sent_by_phase),
                 "collectives_by_phase": dict(r.collectives_by_phase),
+                "sent_to_by_phase": {
+                    phase: {str(dst): [cell[0], cell[1]] for dst, cell in row.items()}
+                    for phase, row in r.sent_to_by_phase.items()
+                },
                 "supersteps": [
                     {
                         "compute": s.compute,
@@ -47,15 +81,25 @@ def stats_to_dict(stats: RunStats) -> dict[str, Any]:
             }
             for r in stats.ranks
         ],
+        "spans": [
+            {
+                "name": s.name,
+                "rank": s.rank,
+                "ts_us": s.ts_us,
+                "dur_us": s.dur_us,
+                "cat": s.cat,
+                "args": s.args,
+            }
+            for s in stats.spans
+        ],
     }
 
 
 def stats_from_dict(data: dict[str, Any]) -> RunStats:
-    """Inverse of :func:`stats_to_dict`."""
-    if data.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported trace format {data.get('format_version')!r}"
-        )
+    """Inverse of :func:`stats_to_dict`; loads v1 and v2 documents."""
+    version = data.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported trace format {version!r}")
     ranks = []
     for rd in data["ranks"]:
         rs = RankStats(rank=rd["rank"])
@@ -68,6 +112,11 @@ def stats_from_dict(data: dict[str, Any]) -> RunStats:
         rs.collectives_by_phase.update(
             {k: int(v) for k, v in rd["collectives_by_phase"].items()}
         )
+        for phase, row in rd.get("sent_to_by_phase", {}).items():
+            rs.sent_to_by_phase[phase] = {
+                int(dst): [float(cell[0]), float(cell[1])]
+                for dst, cell in row.items()
+            }
         rs.supersteps = [
             Superstep(
                 compute=s["compute"],
@@ -79,7 +128,18 @@ def stats_from_dict(data: dict[str, Any]) -> RunStats:
             for s in rd["supersteps"]
         ]
         ranks.append(rs)
-    return RunStats(ranks=ranks)
+    spans = [
+        SpanRecord(
+            name=s["name"],
+            rank=int(s["rank"]),
+            ts_us=float(s["ts_us"]),
+            dur_us=float(s["dur_us"]),
+            cat=s.get("cat", ""),
+            args=dict(s.get("args") or {}),
+        )
+        for s in data.get("spans", [])
+    ]
+    return RunStats(ranks=ranks, spans=spans)
 
 
 def save_stats(stats: RunStats, path: str | Path) -> None:
@@ -88,10 +148,20 @@ def save_stats(stats: RunStats, path: str | Path) -> None:
         json.dump(stats_to_dict(stats), fh)
 
 
+def _extract_stats_doc(data: dict[str, Any]) -> dict[str, Any]:
+    """Accept both plain counter documents and Chrome trace-event files
+    produced by :func:`repro.runtime.tracing.save_trace` (counters embedded
+    under ``"repro"``)."""
+    if "repro" in data and "format_version" not in data:
+        return data["repro"]
+    return data
+
+
 def load_stats(path: str | Path) -> RunStats:
-    """Read a JSON trace file."""
+    """Read a JSON trace file (plain counters or a Chrome trace with an
+    embedded counter document)."""
     with open(path, "r", encoding="utf-8") as fh:
-        return stats_from_dict(json.load(fh))
+        return stats_from_dict(_extract_stats_doc(json.load(fh)))
 
 
 def summarize(stats: RunStats, machine: MachineModel = TITAN_LIKE) -> str:
@@ -117,9 +187,164 @@ def summarize(stats: RunStats, machine: MachineModel = TITAN_LIKE) -> str:
         f"max/mean {sent.max() / max(sent.mean(), 1e-12):.2f}"
     )
     lines.append("per-phase (compute units | bytes sent | collectives):")
-    for phase in sorted(stats.phases()):
+    for phase in stats.phases():
         c = stats.phase_compute(phase).sum()
         b = stats.phase_bytes_sent(phase).sum()
         k = stats.phase_collectives(phase).max() if stats.size else 0
         lines.append(f"  {phase:20s} {c:14.0f} | {b:14.0f} | {k}")
+    if 1 < stats.size <= 16:
+        bytes_m, _msgs = stats.comm_matrix()
+        lines.append("comm matrix (bytes, row = sender):")
+        header = "       " + "".join(f"{f'-> {j}':>12s}" for j in range(stats.size))
+        lines.append(header)
+        for i in range(stats.size):
+            row = "".join(f"{bytes_m[i, j]:12.0f}" for j in range(stats.size))
+            lines.append(f"  r{i:<4d}{row}")
+    if stats.spans:
+        levels = [s for s in stats.spans if s.cat == "level"]
+        lines.append(
+            f"tracer spans     : {len(stats.spans)} "
+            f"({len(levels)} level spans)"
+        )
+        for s in levels:
+            if s.rank != 0:
+                continue
+            q = s.args.get("q_history", [])
+            moves = s.args.get("moves_history", [])
+            lines.append(
+                f"  {s.name:14s} iterations={len(q)} "
+                f"Q={q[-1]:.4f} moves={sum(moves)}"
+                if q
+                else f"  {s.name:14s} (no iterations)"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trace diffing — per-phase regression tables
+# ----------------------------------------------------------------------
+
+# metrics compared per phase: (name, how a phase total is computed)
+_DIFF_METRICS = ("bytes_sent", "messages", "compute", "collectives")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One (phase, metric) comparison between a baseline and a candidate."""
+
+    phase: str
+    metric: str
+    base: float
+    cand: float
+    regressed: bool
+
+    @property
+    def rel(self) -> float:
+        """Relative change; +inf when a metric appears out of nowhere."""
+        if self.base == 0:
+            return float("inf") if self.cand > 0 else 0.0
+        return (self.cand - self.base) / self.base
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of :func:`diff_stats`."""
+
+    rows: list[MetricDelta]
+    threshold: float
+    regressions: list[MetricDelta] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.regressions = [r for r in self.rows if r.regressed]
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(self.regressions)
+
+
+def _phase_totals(stats: RunStats, phase: str) -> dict[str, float]:
+    return {
+        "bytes_sent": float(stats.phase_bytes_sent(phase).sum()),
+        "messages": float(
+            sum(r.messages_sent_by_phase.get(phase, 0) for r in stats.ranks)
+        ),
+        "compute": float(stats.phase_compute(phase).sum()),
+        "collectives": float(stats.phase_collectives(phase).max())
+        if stats.size
+        else 0.0,
+    }
+
+
+def diff_stats(
+    base: RunStats, cand: RunStats, threshold: float = 0.05
+) -> TraceDiff:
+    """Compare two runs phase by phase.
+
+    A (phase, metric) cell *regresses* when the candidate exceeds the
+    baseline by more than ``threshold`` (relative), or appears with a
+    nonzero value in a phase the baseline never touched.  Decreases are
+    reported but never regress — getting faster is allowed.  A ``TOTAL``
+    row aggregates across phases, so uniform creep below the per-phase
+    threshold still cannot slip through unnoticed there.
+    """
+    rows: list[MetricDelta] = []
+    phases = sorted(set(base.phases()) | set(cand.phases()))
+    totals_base = {m: 0.0 for m in _DIFF_METRICS}
+    totals_cand = {m: 0.0 for m in _DIFF_METRICS}
+    for phase in phases:
+        b = _phase_totals(base, phase)
+        c = _phase_totals(cand, phase)
+        for metric in _DIFF_METRICS:
+            totals_base[metric] += b[metric]
+            totals_cand[metric] += c[metric]
+            regressed = c[metric] > b[metric] * (1.0 + threshold) and (
+                c[metric] > 0
+            )
+            rows.append(
+                MetricDelta(
+                    phase=phase,
+                    metric=metric,
+                    base=b[metric],
+                    cand=c[metric],
+                    regressed=regressed,
+                )
+            )
+    for metric in _DIFF_METRICS:
+        b_t, c_t = totals_base[metric], totals_cand[metric]
+        rows.append(
+            MetricDelta(
+                phase="TOTAL",
+                metric=metric,
+                base=b_t,
+                cand=c_t,
+                regressed=c_t > b_t * (1.0 + threshold) and c_t > 0,
+            )
+        )
+    return TraceDiff(rows=rows, threshold=threshold)
+
+
+def format_diff(diff: TraceDiff, show_unchanged: bool = False) -> str:
+    """Render the per-phase regression table."""
+    lines = [
+        f"{'phase':22s} {'metric':12s} {'baseline':>14s} {'candidate':>14s} "
+        f"{'delta':>9s}",
+    ]
+    for row in diff.rows:
+        changed = row.base != row.cand
+        if not (changed or show_unchanged or row.phase == "TOTAL"):
+            continue
+        rel = row.rel
+        delta = "new" if rel == float("inf") else f"{rel:+.1%}"
+        flag = "  << REGRESSION" if row.regressed else ""
+        lines.append(
+            f"{row.phase:22s} {row.metric:12s} {row.base:14.0f} "
+            f"{row.cand:14.0f} {delta:>9s}{flag}"
+        )
+    if diff.has_regression:
+        lines.append(
+            f"{len(diff.regressions)} regression(s) beyond "
+            f"+{diff.threshold:.0%} threshold"
+        )
+    else:
+        lines.append(f"no regressions (threshold +{diff.threshold:.0%})")
     return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Tests for the profiling harness (`repro.bench.profile`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.profile import (
+    measure_tracer_overhead,
+    profile_distributed,
+    span_table,
+)
+
+
+@pytest.fixture(scope="module")
+def profiled(tmp_path_factory, karate):
+    path = tmp_path_factory.mktemp("prof") / "run.trace.json"
+    return profile_distributed(karate, 4, trace_out=path), path
+
+
+class TestProfileDistributed:
+    def test_bundles_all_artifacts(self, profiled):
+        pr, path = profiled
+        assert pr.result.modularity > 0.3
+        assert pr.simulated.total > 0
+        assert pr.comm_bytes.shape == (4, 4)
+        assert np.allclose(
+            pr.comm_bytes.sum(axis=1), pr.result.stats.bytes_sent_per_rank()
+        )
+        assert pr.phase_times  # per-phase simulated breakdown
+        assert pr.trace_path == path
+
+    def test_trace_file_is_chrome_json(self, profiled):
+        _pr, path = profiled
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["repro"]["format_version"] == 2
+
+    def test_level_telemetry(self, profiled):
+        pr, _path = profiled
+        levels = pr.level_telemetry()
+        assert levels
+        assert all(lv["q_history"] for lv in levels)
+        assert all("wall_ms" in lv for lv in levels)
+        # rank 0 only, in level order
+        assert [lv["level"] for lv in levels] == sorted(
+            lv["level"] for lv in levels
+        )
+
+    def test_summary_lists_slowest_spans(self, profiled):
+        pr, _path = profiled
+        text = pr.summary()
+        assert "slowest spans" in text
+        assert "communities" in text
+
+
+class TestSpanTable:
+    def test_aggregates_and_sorts(self, profiled):
+        pr, _path = profiled
+        rows = span_table(pr.spans)
+        assert rows
+        totals = [r["total_ms"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+        for r in rows:
+            assert r["mean_ms"] * r["count"] == pytest.approx(r["total_ms"])
+
+    def test_empty(self):
+        assert span_table([]) == []
+
+
+class TestOverhead:
+    def test_report_shape(self, karate):
+        rep = measure_tracer_overhead(karate, n_ranks=2, repeats=1)
+        assert rep.baseline_s > 0
+        assert rep.traced_s > 0
+        assert rep.n_events > 0
+        assert isinstance(rep.overhead, float)

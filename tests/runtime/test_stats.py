@@ -113,3 +113,144 @@ class TestRunAccounting:
         stats = run_spmd(2, prog, timeout=5).stats
         assert stats.ranks[0].total_bytes_sent == 128
         assert stats.ranks[1].total_bytes_recv == 128
+
+
+class TestSuperstepAccounting:
+    """Regression tests for the superstep-log bookkeeping bugs."""
+
+    def test_trailing_activity_flushed_at_exit(self):
+        # compute after the LAST collective used to vanish from the
+        # superstep log (the open superstep was never closed at exit)
+        def prog(c):
+            c.add_compute(10)
+            c.barrier()
+            c.add_compute(7)  # trailing work, no collective after it
+
+        stats = run_spmd(3, prog, timeout=5).stats
+        for r in stats.ranks:
+            assert sum(s.compute for s in r.supersteps) == r.total_compute
+            assert len(r.supersteps) == 2
+            assert r.supersteps[-1].compute == 7
+
+    def test_trailing_send_flushed_at_exit(self):
+        def prog(c):
+            c.barrier()
+            if c.rank == 0:
+                c.send(np.zeros(4), dest=1)  # 32B after the only barrier
+            elif c.rank == 1:
+                c.recv(source=0)
+
+        stats = run_spmd(2, prog, timeout=5).stats
+        r0 = stats.ranks[0]
+        assert sum(s.bytes_sent for s in r0.supersteps) == r0.total_bytes_sent
+        assert r0.supersteps[-1].bytes_sent == 32
+
+    def test_no_empty_superstep_when_program_ends_on_collective(self):
+        # the exit flush must not append an all-zero superstep: exactly one
+        # logged superstep per collective when the program ends on one
+        def prog(c):
+            c.allreduce(1)
+            c.barrier()
+            c.allgather(2)
+
+        stats = run_spmd(3, prog, timeout=5).stats
+        assert stats.n_supersteps() == 3
+        for r in stats.ranks:
+            assert len(r.supersteps) == r.total_collectives == 3
+
+    def test_receive_only_superstep_gets_phase_tag(self):
+        # a rank whose only activity between two barriers is receiving used
+        # to log that superstep with an empty phase tag (add_recv never set
+        # the open superstep's phase)
+        def prog(c):
+            c.barrier()
+            with c.phase("pull"):
+                if c.rank == 0:
+                    c.send(np.zeros(8), dest=1)
+                elif c.rank == 1:
+                    c.recv(source=0)
+            c.barrier()
+
+        stats = run_spmd(2, prog, timeout=5).stats
+        recv_steps = [s for s in stats.ranks[1].supersteps if s.bytes_recv > 0]
+        assert recv_steps, "receiver logged no superstep with traffic"
+        assert all(s.phase == "pull" for s in recv_steps)
+
+    def test_phases_order_deterministic_and_sorted(self):
+        # phases() used to reflect per-rank dict insertion order, which
+        # differs across ranks and runs; it is now sorted and covers
+        # phases seen only on the receive side
+        def prog(c):
+            if c.rank == 0:
+                with c.phase("zeta"):
+                    c.add_compute(1)
+                with c.phase("alpha"):
+                    c.add_compute(1)
+            else:
+                with c.phase("alpha"):
+                    c.add_compute(1)
+            c.barrier()
+
+        stats = run_spmd(2, prog, timeout=5).stats
+        assert stats.phases() == sorted(stats.phases())
+        assert stats.phases() == ["alpha", "other", "zeta"]
+
+    def test_phases_include_recv_only_phase(self):
+        def prog(c):
+            if c.rank == 0:
+                with c.phase("push"):
+                    c.send(b"abcd", dest=1)
+            else:
+                with c.phase("pull"):
+                    c.recv(source=0)
+            c.barrier()
+
+        stats = run_spmd(2, prog, timeout=5).stats
+        assert "pull" in stats.phases()  # recv-side-only phase
+
+
+class TestCommMatrix:
+    def test_row_sums_match_sent_totals(self):
+        def prog(c):
+            with c.phase("w"):
+                c.allreduce(np.zeros(8))
+                c.alltoall([np.zeros(c.rank + 1) for _ in range(c.size)])
+                c.allgather(np.zeros(2))
+                if c.rank == 0:
+                    c.send(np.zeros(16), dest=3)
+                elif c.rank == 3:
+                    c.recv(source=0)
+            c.barrier()
+
+        stats = run_spmd(4, prog, timeout=5).stats
+        bytes_m, msgs_m = stats.comm_matrix()
+        assert bytes_m.shape == (4, 4)
+        assert np.allclose(bytes_m.sum(axis=1), stats.bytes_sent_per_rank())
+        assert np.all(np.diag(bytes_m) == 0)  # self-sends never hit the wire
+        assert np.all(np.diag(msgs_m) == 0)
+
+    def test_phase_filter(self):
+        def prog(c):
+            with c.phase("a"):
+                c.allgather(np.zeros(4))
+            with c.phase("b"):
+                c.alltoall([np.zeros(2) for _ in range(c.size)])
+
+        stats = run_spmd(3, prog, timeout=5).stats
+        a_m, _ = stats.comm_matrix(phase="a")
+        b_m, _ = stats.comm_matrix(phase="b")
+        total_m, _ = stats.comm_matrix()
+        assert np.allclose(a_m + b_m, total_m)
+        assert np.allclose(a_m.sum(axis=1), stats.phase_bytes_sent("a"))
+
+    def test_matrix_non_power_of_two_ranks(self):
+        # tree-collective partner attribution must keep row sums exact for
+        # any p, including non-powers of two
+        def prog(c):
+            c.allreduce(np.zeros(8))
+            c.bcast(np.zeros(4), root=1)
+
+        stats = run_spmd(5, prog, timeout=5).stats
+        bytes_m, _ = stats.comm_matrix()
+        assert np.allclose(bytes_m.sum(axis=1), stats.bytes_sent_per_rank())
+        assert np.all(np.diag(bytes_m) == 0)

@@ -131,6 +131,96 @@ class TestTraceAndSummary:
         assert "communities      :" in text
 
 
+class TestTraceOut:
+    def test_trace_out_writes_chrome_trace(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.json"
+        rc = main(
+            [
+                "cluster", str(graph_file), "--ranks", "4", "--d-high", "40",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        with open(trace) as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]  # Perfetto timeline
+        assert doc["repro"]["format_version"] == 2
+        assert doc["otherData"]["ranks"] == 4
+        # level spans with convergence telemetry made it into the file
+        level_events = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "level"
+        ]
+        assert level_events
+        assert "q_history" in level_events[0]["args"]
+
+
+class TestTraceVerbs:
+    @pytest.fixture()
+    def trace_pair(self, graph_file, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path in (a, b):
+            rc = main(
+                [
+                    "cluster", str(graph_file), "--ranks", "2",
+                    "--d-high", "40", "--trace-out", str(path),
+                ]
+            )
+            assert rc == 0
+        return a, b
+
+    def test_summarize(self, trace_pair, capsys):
+        a, _b = trace_pair
+        capsys.readouterr()
+        rc = main(["trace", "summarize", str(a)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "ranks            : 2" in text
+        assert "comm matrix" in text
+        assert "tracer spans" in text
+
+    def test_diff_identical_exits_zero(self, trace_pair, capsys):
+        a, b = trace_pair
+        capsys.readouterr()
+        rc = main(["trace", "diff", str(a), str(b)])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_traffic_inflation_exits_one(self, tmp_path, capsys):
+        # ghost_mode=delta only ships changed labels, full reships all of
+        # them every iteration: diffing delta (baseline) against full
+        # (candidate) must flag the swap_ghost traffic and exit 1
+        from repro.core import DistributedConfig, distributed_louvain
+        from repro.graph.generators import lfr_graph
+        from repro.runtime.trace import save_stats
+
+        graph = lfr_graph(300, mu=0.1, seed=3).graph
+        base, cand = tmp_path / "delta.json", tmp_path / "full.json"
+        for path, mode in ((base, "delta"), (cand, "full")):
+            res = distributed_louvain(
+                graph, 4, DistributedConfig(d_high=32, ghost_mode=mode)
+            )
+            save_stats(res.stats, path)
+        rc = main(["trace", "diff", str(base), str(cand), "--threshold", "0.05"])
+        assert rc == 1
+        text = capsys.readouterr().out
+        assert "REGRESSION" in text
+        assert "swap_ghost" in text
+
+    def test_diff_threshold_flag(self, trace_pair, capsys):
+        a, b = trace_pair
+        rc = main(["trace", "diff", str(a), str(b), "--threshold", "0.5"])
+        assert rc == 0
+
+    def test_summarize_missing_file_friendly(self, capsys):
+        rc = main(["trace", "summarize", "no-such-trace.json"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+
 class TestQuality:
     def test_quality_command(self, tmp_path, capsys):
         import numpy as np
