@@ -4,7 +4,24 @@ paths, measured by pytest-benchmark with real repetition.
 Unlike the figure benchmarks (which report *simulated* distributed time),
 these track the single-process speed of the building blocks so performance
 regressions in the implementation itself are caught.
+
+Besides the pytest-benchmark cases, this file doubles as a script::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --json BENCH_kernels.json
+
+which times each vectorized non-sweep kernel (owner-bucketing pack,
+aggregate sync, merge assembly) against its retained scalar reference on
+the 56k-edge Barabasi-Albert reference graph and writes the
+before/after/speedup table as machine-readable JSON (see
+``docs/PERFORMANCE.md``).  ``--check`` exits non-zero if any vectorized
+kernel is slower than its scalar reference (the CI ``bench-smoke`` gate);
+``--quick`` shrinks the workload for CI.
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -12,7 +29,14 @@ import pytest
 from repro.bench import load_dataset
 from repro.core import DistributedConfig, distributed_louvain, sequential_louvain
 from repro.core.coarsen import coarsen_graph
+from repro.core.community_table import OwnerTable
+from repro.core.merging import (
+    _aggregate_pairs,
+    _assemble_scalar,
+    _assemble_vectorized,
+)
 from repro.core.modularity import modularity
+from repro.core.pack import pack_by_owner
 from repro.graph.csr import build_symmetric_csr
 from repro.graph.generators import barabasi_albert
 from repro.partition import delegate_partition, oned_partition
@@ -136,3 +160,343 @@ def test_kernel_sweep_vectorized(benchmark, scalefree_graph):
         iterations=1,
     )
     assert res.modularity > 0.15
+
+
+# ---------------------------------------------------------------------------
+# Non-sweep kernel workloads (pack / aggregate sync / merge assembly), each
+# with its scalar reference.  Shared between the pytest-benchmark cases
+# below and the BENCH_kernels.json script mode.
+# ---------------------------------------------------------------------------
+
+P_RANKS = 16  # bucket count for the pack workload
+SYNC_RANKS = 4
+
+
+def _pack_workload(graph):
+    """Owner array + three parallel payload arrays over every CSR entry."""
+    rows = np.repeat(
+        np.arange(graph.n_vertices, dtype=np.int64), np.diff(graph.indptr)
+    )
+    owner = graph.indices % P_RANKS
+    return owner, (rows, graph.indices.astype(np.int64), graph.weights)
+
+
+def _pack_scalar(owner, arrays):
+    return [tuple(a[owner == r] for a in arrays) for r in range(P_RANKS)]
+
+
+def _pack_vectorized(owner, arrays):
+    return pack_by_owner(owner, P_RANKS, *arrays)
+
+
+def _sync_workload(graph, size=SYNC_RANKS):
+    """One full-sync round's data, as every rank of the sync phase sees it.
+
+    Covers the complete scalar path being replaced: owner-side contribution
+    merging, full-pull request answering, subscriber-side cache rebuild,
+    local census, and partial modularity.  Communication itself is excluded
+    (identical payloads either way); only the per-label CPU work differs.
+    """
+    rng = np.random.default_rng(7)
+    n = graph.n_vertices
+    labels_of = rng.integers(0, max(n // 4, 2), n).astype(np.int64)
+    wdeg = graph.weighted_degrees
+    reports = []
+    census = []
+    needed = []
+    for r in range(size):
+        verts = np.arange(r, n, size)
+        census.append(labels_of[verts])
+        uniq, inv = np.unique(labels_of[verts], return_inverse=True)
+        tot = np.zeros(uniq.size)
+        np.add.at(tot, inv, wdeg[verts])
+        cnt = np.bincount(inv, minlength=uniq.size).astype(np.float64)
+        reports.append((uniq, tot, cnt, tot * 0.5))
+        # referenced communities: own labels plus ghost-neighbour labels
+        ghosts = rng.choice(n, size=n // size, replace=False)
+        needed.append(np.unique(np.concatenate([uniq, labels_of[ghosts]])))
+    streams = []
+    requests = []
+    for owner in range(size):
+        parts = [
+            tuple(col[labs % size == owner] for col in (labs, tot, cnt, s_in))
+            for labs, tot, cnt, s_in in reports
+        ]
+        streams.append(tuple(np.concatenate(c) for c in zip(*parts)))
+        requests.append(np.concatenate([nd[nd % size == owner] for nd in needed]))
+    # precomputed answers for the subscriber-side rebuild (per rank, the
+    # concatenation of every owner's reply)
+    g_uniq, g_inv = np.unique(labels_of, return_inverse=True)
+    g_tot = np.zeros(g_uniq.size)
+    np.add.at(g_tot, g_inv, wdeg)
+    g_cnt = np.bincount(g_inv, minlength=g_uniq.size).astype(np.float64)
+    answered = []
+    for nd in needed:
+        pos = np.searchsorted(g_uniq, nd)
+        vals = np.empty((nd.size, 2))
+        vals[:, 0] = g_tot[pos]
+        vals[:, 1] = g_cnt[pos]
+        answered.append((nd, vals))
+    return {
+        "streams": streams,
+        "requests": requests,
+        "answered": answered,
+        "census": census,
+    }
+
+
+def _sync_scalar(w, two_m=1000.0, resolution=1.0):
+    """The seed's dict-based sync round: merge/answer/rebuild/census/Q."""
+    q_total = 0.0
+    for owner in range(len(w["streams"])):
+        # owner side: merge arrival stream, answer pulls, partial Q
+        labs, tot, cnt, s_in = w["streams"][owner]
+        own = {}
+        for lab, t, c, i in zip(
+            labs.tolist(), tot.tolist(), cnt.tolist(), s_in.tolist()
+        ):
+            acc = own.get(lab)
+            if acc is None:
+                own[lab] = [t, c, i]
+            else:
+                acc[0] += t
+                acc[1] += c
+                acc[2] += i
+        req = w["requests"][owner]
+        vals = np.empty((req.size, 2))
+        for i, lab in enumerate(req.tolist()):
+            acc = own[lab]
+            vals[i, 0] = acc[0]
+            vals[i, 1] = acc[1]
+        q_part = 0.0  # per-owner subtotal, as the real allreduce sees it
+        for acc in own.values():
+            q_part += acc[2] / two_m - resolution * (acc[0] / two_m) ** 2
+        q_total += q_part
+    for (req, vals), members in zip(w["answered"], w["census"]):
+        # subscriber side: rebuild caches from the answers, local census
+        sigma_tot = {}
+        csize = {}
+        for lab, (t, c) in zip(req.tolist(), vals.tolist()):
+            sigma_tot[lab] = t
+            csize[lab] = int(round(c))
+        local_members = {}
+        for lab in members.tolist():
+            local_members[lab] = local_members.get(lab, 0) + 1
+    return q_total
+
+
+def _sync_vectorized(w, two_m=1000.0, resolution=1.0):
+    from repro.core.community_table import CommunityTable
+
+    q_total = 0.0
+    for owner in range(len(w["streams"])):
+        labs, tot, cnt, s_in = w["streams"][owner]
+        own = OwnerTable()
+        own.merge_stream(labs, tot, cnt, s_in)
+        q_total += own.partial_modularity(two_m, resolution)
+        req = w["requests"][owner]
+        vals = np.empty((req.size, 2))
+        vals[:, 0], vals[:, 1] = own.lookup(req)
+    for (req, vals), members in zip(w["answered"], w["census"]):
+        ctab = CommunityTable()
+        ctab.rebuild(req, vals[:, 0], np.rint(vals[:, 1]).astype(np.int64))
+        labs, cnts = np.unique(members, return_counts=True)
+        ctab.set_local_census(labs, cnts.astype(np.int64))
+    return q_total
+
+
+def _merge_workload(graph, size=SYNC_RANKS, rank=0):
+    """One rank's densified coarse-pair stream, as merge step 4 sees it."""
+    rng = np.random.default_rng(11)
+    n = graph.n_vertices
+    assign = rng.integers(0, max(n // 8, 2), n).astype(np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    cu, cv = assign[rows], assign[graph.indices]
+    acu, acv, aw = _aggregate_pairs(cu, cv, graph.weights, n)
+    glabels = np.unique(np.concatenate([acu, acv]))
+    k = int(glabels.size)
+    dcu = np.searchsorted(glabels, acu)
+    dcv = np.searchsorted(glabels, acv)
+    sel = dcu % size == rank
+    ncu, ncv, nw = _aggregate_pairs(dcu[sel], dcv[sel], aw[sel], k)
+    keep = nw > 0.0
+    return rank, size, k, ncu[keep], ncv[keep], nw[keep]
+
+
+def test_kernel_pack_by_owner(benchmark, scalefree_graph):
+    owner, arrays = _pack_workload(scalefree_graph)
+    got = benchmark(lambda: _pack_vectorized(owner, arrays))
+    assert sum(p[0].size for p in got) == owner.size
+
+
+def test_kernel_pack_masked_reference(benchmark, scalefree_graph):
+    """The O(n * p) boolean-mask split that pack_by_owner replaces."""
+    owner, arrays = _pack_workload(scalefree_graph)
+    got = benchmark(lambda: _pack_scalar(owner, arrays))
+    assert sum(p[0].size for p in got) == owner.size
+
+
+def test_kernel_aggregate_sync_dense(benchmark, scalefree_graph):
+    streams = _sync_workload(scalefree_graph)
+    q = benchmark(lambda: _sync_vectorized(streams))
+    assert q == _sync_scalar(streams)  # bitwise-equal reduction
+
+
+def test_kernel_aggregate_sync_scalar(benchmark, scalefree_graph):
+    streams = _sync_workload(scalefree_graph)
+    benchmark(lambda: _sync_scalar(streams))
+
+
+def test_kernel_merge_assembly_vectorized(benchmark, scalefree_graph):
+    args = _merge_workload(scalefree_graph)
+    out = benchmark(lambda: _assemble_vectorized(*args))
+    ref = _assemble_scalar(*args)
+    assert all(np.array_equal(a, b) for a, b in zip(out, ref))
+
+
+def test_kernel_merge_assembly_scalar(benchmark, scalefree_graph):
+    args = _merge_workload(scalefree_graph)
+    benchmark(lambda: _assemble_scalar(*args))
+
+
+# ---------------------------------------------------------------------------
+# Script mode: emit BENCH_kernels.json (see module docstring)
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def run_kernel_suite(quick=False, pipeline=True):
+    """Time every vectorized kernel against its scalar reference; returns
+    the BENCH_kernels.json document."""
+    if quick:
+        graph = barabasi_albert(1500, 6, seed=5)
+        repeats = 3
+    else:
+        graph = barabasi_albert(7000, 8, seed=5)
+        repeats = 5
+
+    report = {
+        "graph": {
+            "generator": f"barabasi_albert({graph.n_vertices}, "
+            f"{6 if quick else 8}, seed=5)",
+            "n_vertices": int(graph.n_vertices),
+            "n_edges": int(graph.n_edges),
+        },
+        "quick": quick,
+        "kernels": {},
+    }
+
+    owner, arrays = _pack_workload(graph)
+    streams = _sync_workload(graph)
+    merge_args = _merge_workload(graph)
+    cases = {
+        "pack_by_owner": (
+            lambda: _pack_scalar(owner, arrays),
+            lambda: _pack_vectorized(owner, arrays),
+        ),
+        "aggregate_sync": (
+            lambda: _sync_scalar(streams),
+            lambda: _sync_vectorized(streams),
+        ),
+        "merge_assembly": (
+            lambda: _assemble_scalar(*merge_args),
+            lambda: _assemble_vectorized(*merge_args),
+        ),
+    }
+    for name, (scalar_fn, vector_fn) in cases.items():
+        scalar_s = _best_of(scalar_fn, repeats)
+        vector_s = _best_of(vector_fn, repeats)
+        report["kernels"][name] = {
+            "scalar_s": scalar_s,
+            "vectorized_s": vector_s,
+            "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+        }
+
+    if pipeline:
+        # end-to-end check: same pipeline, agg_mode scalar vs dense (the
+        # sweep is vectorized in both, so the delta is the non-sweep share)
+        def run(agg):
+            return distributed_louvain(
+                graph,
+                SYNC_RANKS,
+                DistributedConfig(
+                    d_high=64, sweep_mode="vectorized", agg_mode=agg
+                ),
+            )
+
+        rounds = 1 if quick else 2
+        scalar_s = _best_of(lambda: run("scalar"), rounds)
+        dense_s = _best_of(lambda: run("dense"), rounds)
+        report["pipeline"] = {
+            "config": "p=4, sweep_mode=vectorized, d_high=64",
+            "agg_scalar_s": scalar_s,
+            "agg_dense_s": dense_s,
+            "speedup": scalar_s / dense_s if dense_s > 0 else float("inf"),
+        }
+    return report
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--json", type=str, default="BENCH_kernels.json",
+        help="output path for the JSON report",
+    )
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="smaller graph and fewer repeats (CI smoke)",
+    )
+    ap.add_argument(
+        "--no-pipeline", action="store_true",
+        help="skip the end-to-end agg_mode comparison",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any vectorized kernel is slower than its scalar "
+        "reference",
+    )
+    args = ap.parse_args(argv)
+
+    report = run_kernel_suite(quick=args.quick, pipeline=not args.no_pipeline)
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    width = max(len(k) for k in report["kernels"])
+    print(f"{'kernel':{width}s}  {'scalar':>10s}  {'vectorized':>10s}  speedup")
+    for name, row in report["kernels"].items():
+        print(
+            f"{name:{width}s}  {row['scalar_s'] * 1e3:8.2f}ms  "
+            f"{row['vectorized_s'] * 1e3:8.2f}ms  {row['speedup']:6.2f}x"
+        )
+    if "pipeline" in report:
+        row = report["pipeline"]
+        print(
+            f"pipeline (agg scalar -> dense): {row['agg_scalar_s']:.2f}s -> "
+            f"{row['agg_dense_s']:.2f}s  ({row['speedup']:.2f}x)"
+        )
+    print(f"wrote {args.json}")
+
+    if args.check:
+        slow = [
+            name
+            for name, row in report["kernels"].items()
+            if row["speedup"] < 1.0
+        ]
+        if slow:
+            print(f"FAIL: vectorized kernels slower than scalar: {slow}")
+            return 1
+        print("OK: every vectorized kernel at least matches its reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
         "Jacobi NumPy kernel",
     )
     p.add_argument(
+        "--agg-mode",
+        choices=["dense", "scalar"],
+        default="dense",
+        help="aggregate-sync and merge kernels: dense NumPy tables or the "
+        "dict-based scalar reference (identical results either way)",
+    )
+    p.add_argument(
         "--checkpoint-path",
         type=Path,
         default=None,
@@ -195,6 +202,7 @@ def _cmd_cluster(args) -> int:
             d_high=d_high,
             resolution=args.resolution,
             sweep_mode=args.sweep_mode,
+            agg_mode=args.agg_mode,
             checksums=args.checksums,
             checkpoint_path=(
                 str(args.checkpoint_path) if args.checkpoint_path else None

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.pack import pack_by_owner
 from repro.core.sequential import louvain_one_level, sequential_louvain
 from repro.graph.csr import CSRGraph, build_symmetric_csr
 from repro.graph.ops import relabel_communities
@@ -74,13 +75,16 @@ def _worker(comm, partition, theta: float):
         super_of_local = np.full(lg.n_local, -1, dtype=np.int64)
         super_of_local[:owned_n] = super_of_owned
         owned_ids = lg.global_ids[:owned_n]
-        payloads = []
-        for r in range(comm.size):
-            ids = lg.send_to.get(r)
-            if ids is None:
-                payloads.append(np.zeros(0, dtype=np.int64))
-            else:
-                payloads.append(super_of_owned[np.searchsorted(owned_ids, ids)])
+        peers = sorted(lg.send_to)
+        if peers:
+            all_ids = np.concatenate([lg.send_to[r] for r in peers])
+            dests = np.concatenate(
+                [np.full(lg.send_to[r].size, r, dtype=np.int64) for r in peers]
+            )
+            vals = super_of_owned[np.searchsorted(owned_ids, all_ids)]
+            payloads = pack_by_owner(dests, comm.size, vals)
+        else:
+            payloads = [np.zeros(0, dtype=np.int64) for _ in range(comm.size)]
         received = comm.alltoall(payloads)
         ghost_ids = lg.global_ids[lg.n_rows :]
         for r, values in enumerate(received):

@@ -61,6 +61,7 @@ class DistributedConfig:
     sync_mode: str = "full"  # community-state sync: "full" | "delta"
     ghost_mode: str = "full"  # ghost label exchange: "full" | "delta"
     sweep_mode: str = "gauss-seidel"  # local sweep: "gauss-seidel" | "vectorized"
+    agg_mode: str = "dense"  # aggregate-sync/merge kernels: "dense" | "scalar"
     refine: bool = False  # split internally disconnected communities
     min_q_gain: float = 1e-9  # outer-loop stopping criterion
     max_inner: int = 100  # inner iterations per level (safety valve)
@@ -227,6 +228,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
         sync_mode=cfg.sync_mode,
         ghost_mode=cfg.ghost_mode,
         sweep_mode=cfg.sweep_mode,
+        agg_mode=cfg.agg_mode,
     )
     outcome = run_level(0, clustering, lg.n_hubs > 0)
     reports.append(
@@ -245,8 +247,11 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
     q_prev = outcome.q_final
 
     # ---- stage 3: merge + 1D re-partition ------------------------------
+    merge_impl = "scalar" if cfg.agg_mode == "scalar" else "vectorized"
     with comm.phase("s1:merge"):
-        lg, fine_ids, coarse_ids = merge_level(comm, lg, outcome.comm_of)
+        lg, fine_ids, coarse_ids = merge_level(
+            comm, lg, outcome.comm_of, impl=merge_impl
+        )
     level_maps.append((fine_ids, coarse_ids))
     level_boundary(fine_ids, coarse_ids, q_prev)
 
@@ -264,6 +269,7 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
             sync_mode=cfg.sync_mode,
             ghost_mode=cfg.ghost_mode,
             sweep_mode=cfg.sweep_mode,
+            agg_mode=cfg.agg_mode,
         )
         outcome = run_level(level, clustering, False)
         q = outcome.q_final
@@ -289,7 +295,9 @@ def _worker(comm, partition: Partition, cfg: DistributedConfig, ckpt_base=None):
             break
         q_prev = q
         with comm.phase("s2:merge"):
-            lg, fine_ids, coarse_ids = merge_level(comm, lg, outcome.comm_of)
+            lg, fine_ids, coarse_ids = merge_level(
+                comm, lg, outcome.comm_of, impl=merge_impl
+            )
         level_maps.append((fine_ids, coarse_ids))
         level_boundary(fine_ids, coarse_ids, q)
 

@@ -34,7 +34,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.community_table import (
+    CommunityTable,
+    OwnerTable,
+    diff_contributions,
+)
 from repro.core.heuristics import Candidate, MoveHeuristic
+from repro.core.pack import pack_by_owner
 from repro.core.sweep_kernel import VECTOR_HEURISTICS, bulk_best_moves
 from repro.partition.distgraph import LocalGraph
 from repro.runtime.comm import SimComm
@@ -78,6 +84,7 @@ class LocalClustering:
         sync_mode: str = "full",
         ghost_mode: str = "full",
         sweep_mode: str = "gauss-seidel",
+        agg_mode: str = "dense",
     ) -> None:
         if sync_mode not in ("full", "delta"):
             raise ValueError("sync_mode must be 'full' or 'delta'")
@@ -85,6 +92,8 @@ class LocalClustering:
             raise ValueError("ghost_mode must be 'full' or 'delta'")
         if sweep_mode not in ("gauss-seidel", "vectorized"):
             raise ValueError("sweep_mode must be 'gauss-seidel' or 'vectorized'")
+        if agg_mode not in ("dense", "scalar"):
+            raise ValueError("agg_mode must be 'dense' or 'scalar'")
         # the bulk kernel encodes the selection rule of each registered
         # heuristic; custom heuristics fall back to the scalar loop
         if sweep_mode == "vectorized" and heuristic.name not in VECTOR_HEURISTICS:
@@ -100,11 +109,18 @@ class LocalClustering:
         self.sync_mode = sync_mode
         self.ghost_mode = ghost_mode
         self.sweep_mode = sweep_mode
+        self.agg_mode = agg_mode
         # delta-sync state: this rank's last reported contributions and the
         # persistent owner-side aggregates it maintains across iterations
         self._prev_contrib: dict[int, tuple[float, float, float]] | None = None
         self._owner_agg: dict[int, list[float]] = {}
         self._subscribers: dict[int, set[int]] = {}
+        # dense-agg counterparts of the three dicts above: the previous
+        # contribution report as parallel arrays, the owner-side label table,
+        # and the subscriber map inverted to rank -> sorted label array
+        self._prev_report: tuple[np.ndarray, ...] | None = None
+        self._owner_table = OwnerTable()
+        self._sub_to: dict[int, np.ndarray] = {}
         # delta-ghost state: labels last sent to each subscriber peer
         self._prev_ghost_sent: dict[int, np.ndarray] = {}
         # telemetry accumulators (see LevelOutcome)
@@ -115,6 +131,12 @@ class LocalClustering:
         self.two_m = 2.0 * lg.m_global if lg.m_global > 0 else 1.0
 
         self.comm_of = lg.global_ids.astype(np.int64).copy()
+        # subscriber-side community caches.  With the vectorized sweep under
+        # dense aggregation the canonical store is the label-table ``ctab``
+        # (consumed directly by the bulk kernel); otherwise the dicts below
+        # are canonical and the scalar sweep / per-move updates use them.
+        self._dense_tables = agg_mode == "dense" and self.sweep_mode == "vectorized"
+        self.ctab = CommunityTable()
         self.sigma_tot: dict[int, float] = {}
         self.csize: dict[int, int] = {}
         self.local_members: dict[int, int] = {}
@@ -142,10 +164,11 @@ class LocalClustering:
         self._is_self_entry = lg.indices == self._entry_rows
         # plain-list views of the immutable CSR: scalar indexing of numpy
         # arrays dominates the scalar sweep cost otherwise (~3x slower).
-        # The vectorized sweep works on the arrays directly and only needs
-        # the label list for _apply_move bookkeeping.
-        self._cof_list: list[int] = self.comm_of.tolist()
+        # The vectorized sweep works on the arrays directly and never reads
+        # the label list, so it is not maintained there at all.
+        self._cof_list: list[int] | None = None
         if self.sweep_mode == "gauss-seidel":
+            self._cof_list = self.comm_of.tolist()
             self._idx_list: list[int] = lg.indices.tolist()
             self._w_list: list[float] = lg.weights.tolist()
             self._indptr_list: list[int] = lg.indptr.tolist()
@@ -201,7 +224,70 @@ class LocalClustering:
         modes yield identical aggregates (up to float accumulation order) —
         delta trades a little bookkeeping for drastically less traffic in
         the late, low-movement iterations (see ``bench_ablation_sync.py``).
+
+        ``agg_mode`` selects the implementation: ``dense`` runs the whole
+        protocol on numpy label tables (:mod:`repro.core.community_table`),
+        ``scalar`` is the dict-accumulator reference.  Both ship identical
+        payload multisets (byte-identical traffic) and the equivalence grid
+        in ``tests/core/test_agg_equivalence.py`` pins labels and Q.
         """
+        if self.agg_mode == "scalar":
+            return self._sync_aggregates_scalar()
+        return self._sync_aggregates_dense()
+
+    def _sync_aggregates_dense(self) -> float:
+        """Dense-table implementation of :meth:`sync_aggregates`."""
+        comm = self.comm
+        labels, tot, cnt, s_in = self._contributions()
+
+        if self.sync_mode == "delta":
+            report = (labels, tot, cnt, s_in)
+            if self._prev_report is not None:
+                labels, tot, cnt, s_in = diff_contributions(
+                    labels, tot, cnt, s_in, *self._prev_report
+                )
+            self._prev_report = report
+
+        owner = self._owner(labels) if labels.size else labels
+        payloads = pack_by_owner(owner, comm.size, labels, tot, cnt, s_in)
+        received = comm.alltoall(payloads)
+
+        # accumulate contributions in rank-arrival order: np.add.at applies
+        # updates sequentially, so every per-community sum is bit-identical
+        # to the scalar dict loop
+        own = self._owner_table if self.sync_mode == "delta" else OwnerTable()
+        changed = own.merge_stream(
+            np.concatenate([p[0] for p in received]),
+            np.concatenate([p[1] for p in received]),
+            np.concatenate([p[2] for p in received]),
+            np.concatenate([p[3] for p in received]),
+        )
+        if self.sync_mode == "delta":
+            dead = own.drop_dead()
+            if dead.size and self._sub_to:
+                for r in list(self._sub_to):
+                    self._sub_to[r] = np.setdiff1d(
+                        self._sub_to[r], dead, assume_unique=True
+                    )
+            self._delta_pull_dense(own, changed)
+        else:
+            self._full_pull_dense(own)
+
+        # local membership census over OWNED vertices only (hubs must not
+        # mark communities as "local" — see the scalar path)
+        labs, cnts = np.unique(
+            self.comm_of[: self.lg.n_owned], return_counts=True
+        )
+        if self._dense_tables:
+            self.ctab.set_local_census(labs, cnts.astype(np.int64))
+        else:
+            self.local_members = dict(zip(labs.tolist(), cnts.tolist()))
+
+        q_part = own.partial_modularity(self.two_m, self.resolution)
+        return float(comm.allreduce(q_part))
+
+    def _sync_aggregates_scalar(self) -> float:
+        """Dict-accumulator reference implementation (the seed path)."""
         comm = self.comm
         labels, tot, cnt, s_in = self._contributions()
 
@@ -378,6 +464,112 @@ class LocalClustering:
                 self.csize[lab] = int(round(c))
 
     # ------------------------------------------------------------------
+    # Pull protocols, dense-table implementation
+    # ------------------------------------------------------------------
+    def _answer(self, own: OwnerTable, req: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Owner-side reply values, with the scalar path's hard failure on a
+        community this rank holds no aggregate for."""
+        try:
+            return own.lookup(req)
+        except KeyError as exc:
+            raise RuntimeError(
+                f"rank {self.comm.rank}: no aggregate for community {exc.args[0]}"
+            ) from None
+
+    def _cache_update(
+        self, labels: np.ndarray, sigma: np.ndarray, size: np.ndarray
+    ) -> None:
+        """Overlay received (sigma_tot, size) pairs onto the subscriber
+        cache — the label table or the dict mirrors, whichever is canonical
+        for the active sweep mode."""
+        if labels.size == 0:
+            return
+        if self._dense_tables:
+            self.ctab.assign(labels, sigma, size)
+        else:
+            self.sigma_tot.update(zip(labels.tolist(), sigma.tolist()))
+            self.csize.update(zip(labels.tolist(), size.tolist()))
+
+    def _full_pull_dense(self, own: OwnerTable) -> None:
+        """Vectorized :meth:`_full_pull`: same requests, same replies, the
+        per-label Python loops replaced by one table lookup per exchange."""
+        comm = self.comm
+        needed = np.unique(self.comm_of)
+        requests = pack_by_owner(
+            self._owner(needed) if needed.size else needed, comm.size, needed
+        )
+        incoming = comm.alltoall(requests)
+        replies = []
+        for req in incoming:
+            vals = np.empty((req.size, 2))
+            vals[:, 0], vals[:, 1] = self._answer(own, req)
+            replies.append((req, vals))
+        answered = comm.alltoall(replies)
+        lab = np.concatenate([a[0] for a in answered])
+        vals = np.concatenate([a[1] for a in answered])
+        sz = np.rint(vals[:, 1]).astype(np.int64)
+        if self._dense_tables:
+            self.ctab.rebuild(lab, vals[:, 0].copy(), sz)
+        else:
+            self.sigma_tot = dict(zip(lab.tolist(), vals[:, 0].tolist()))
+            self.csize = dict(zip(lab.tolist(), sz.tolist()))
+
+    def _delta_pull_dense(self, own: OwnerTable, changed: np.ndarray) -> None:
+        """Vectorized :meth:`_delta_pull`: pushes are built per peer by
+        intersecting its subscription array with the changed set (sorted
+        label order — same label multiset and bytes as the scalar path),
+        and the first-reference requests come from one membership test."""
+        comm = self.comm
+
+        # 1. push changed values to subscribers (dead labels were dropped
+        # from the table, so they are silently skipped here, as in scalar)
+        alive = changed[own.contains(changed)] if changed.size else changed
+        push = []
+        for r in range(comm.size):
+            subs = self._sub_to.get(r)
+            if subs is None or subs.size == 0 or alive.size == 0:
+                push.append((_EMPTY_I64, _EMPTY_F64, _EMPTY_F64))
+                continue
+            labs = np.intersect1d(subs, alive, assume_unique=True)
+            t, c = own.lookup(labs)
+            push.append((labs, t, c))
+        pushed = comm.alltoall(push)
+        p_lab = np.concatenate([p[0] for p in pushed])
+        p_tot = np.concatenate([p[1] for p in pushed])
+        p_cnt = np.concatenate([p[2] for p in pushed])
+        self._cache_update(p_lab, p_tot, np.rint(p_cnt).astype(np.int64))
+
+        # 2. request communities not yet cached (and subscribe to them)
+        needed = np.unique(self.comm_of)
+        if self._dense_tables:
+            missing = needed[~self.ctab.contains(needed)]
+        else:
+            cached = np.fromiter(
+                self.sigma_tot.keys(), dtype=np.int64, count=len(self.sigma_tot)
+            )
+            missing = needed[~np.isin(needed, cached)]
+        requests = pack_by_owner(
+            self._owner(missing) if missing.size else missing, comm.size, missing
+        )
+        incoming = comm.alltoall(requests)
+        replies = []
+        for src_rank, req in enumerate(incoming):
+            vals = np.empty((req.size, 2))
+            vals[:, 0], vals[:, 1] = self._answer(own, req)
+            if req.size:
+                subs = self._sub_to.get(src_rank)
+                self._sub_to[src_rank] = (
+                    np.union1d(subs, req) if subs is not None else req.copy()
+                )
+            replies.append((req, vals))
+        answered = comm.alltoall(replies)
+        a_lab = np.concatenate([a[0] for a in answered])
+        a_vals = np.concatenate([a[1] for a in answered])
+        self._cache_update(
+            a_lab, a_vals[:, 0].copy(), np.rint(a_vals[:, 1]).astype(np.int64)
+        )
+
+    # ------------------------------------------------------------------
     # Phase 1: the local sweep
     # ------------------------------------------------------------------
     def _evaluate_vertex(
@@ -440,7 +632,8 @@ class LocalClustering:
         cu = int(self.comm_of[u])
         wu = float(self.lg.row_weighted_degree[u])
         self.comm_of[u] = new_label
-        self._cof_list[u] = new_label
+        if self._cof_list is not None:
+            self._cof_list[u] = new_label
         self.sigma_tot[cu] = self.sigma_tot.get(cu, wu) - wu
         self.csize[cu] = self.csize.get(cu, 1) - 1
         self.sigma_tot[new_label] = self.sigma_tot.get(new_label, 0.0) + wu
@@ -450,6 +643,36 @@ class LocalClustering:
             self.local_members[new_label] = (
                 self.local_members.get(new_label, 0) + 1
             )
+
+    def _apply_moves_bulk(self, rows: np.ndarray, targets: np.ndarray) -> None:
+        """Apply a batch of moves against the dense label table.
+
+        The scatter stream interleaves each move's source and target label
+        (``old0, new0, old1, new1, ...``), so ``np.add.at`` replays the
+        exact per-move update order of sequential :meth:`_apply_move`
+        calls — the cache values stay bit-identical to the dict path.
+        """
+        if rows.size == 0:
+            return
+        old = self.comm_of[rows].astype(np.int64, copy=True)
+        targets = targets.astype(np.int64, copy=False)
+        wu = self.lg.row_weighted_degree[rows]
+        self.comm_of[rows] = targets
+        n = int(rows.size)
+        upd = np.empty(2 * n, dtype=np.int64)
+        upd[0::2] = old
+        upd[1::2] = targets
+        d_sigma = np.empty(2 * n)
+        d_sigma[0::2] = -wu
+        d_sigma[1::2] = wu
+        d_size = np.empty(2 * n, dtype=np.int64)
+        d_size[0::2] = -1
+        d_size[1::2] = 1
+        is_owned = rows < self.lg.n_owned
+        d_local = np.empty(2 * n, dtype=np.int64)
+        d_local[0::2] = np.where(is_owned, -1, 0)
+        d_local[1::2] = np.where(is_owned, 1, 0)
+        self.ctab.scatter_add(upd, d_sigma, d_size, d_local)
 
     def find_best_pass(self) -> tuple[int, np.ndarray, np.ndarray]:
         """Sweep all row vertices.  Under ``gauss-seidel`` owned vertices
@@ -504,6 +727,7 @@ class LocalClustering:
             sigma_tot=self.sigma_tot,
             csize=self.csize,
             local_members=self.local_members,
+            table=self.ctab if self._dense_tables else None,
             two_m=self.two_m,
             resolution=self.resolution,
             theta=self.theta,
@@ -527,23 +751,41 @@ class LocalClustering:
         down_only = self._vec_iter % 2 == 0
         self._vec_iter += 1
         movers = np.flatnonzero(chosen[: lg.n_owned] != cu[: lg.n_owned])
-        applied: list[tuple[int, int]] = []
-        deferred = 0
-        for u in movers.tolist():
-            c_old = int(cu[u])
-            tgt = int(chosen[u])
-            if (
-                self.csize.get(c_old, 1) == 1
-                and self.csize.get(tgt, 1) == 1
-                and tgt > c_old
-            ):
-                continue
-            if down_only and tgt > c_old:
-                deferred += 1
-                continue
-            applied.append((u, tgt))
-        for u, tgt in applied:
-            self._apply_move(u, tgt)
+        if self._dense_tables:
+            # gate decisions read the frozen pre-pass sizes (exactly like
+            # the dict branch below, which also defers all cache updates
+            # until after the decision loop), so they vectorize directly
+            m_old = cu[movers]
+            m_tgt = chosen[movers]
+            labs = np.unique(np.concatenate([m_old, m_tgt]))
+            _st, _known, sz_tab, _loc = self.ctab.lookup_eval(labs)
+            sz_old = sz_tab[np.searchsorted(labs, m_old)]
+            sz_tgt = sz_tab[np.searchsorted(labs, m_tgt)]
+            gate = (sz_old == 1) & (sz_tgt == 1) & (m_tgt > m_old)
+            defer = down_only & (m_tgt > m_old) & ~gate
+            deferred = int(np.count_nonzero(defer))
+            take = ~gate & ~defer
+            self._apply_moves_bulk(movers[take], m_tgt[take])
+            n_applied = int(np.count_nonzero(take))
+        else:
+            applied: list[tuple[int, int]] = []
+            deferred = 0
+            for u in movers.tolist():
+                c_old = int(cu[u])
+                tgt = int(chosen[u])
+                if (
+                    self.csize.get(c_old, 1) == 1
+                    and self.csize.get(tgt, 1) == 1
+                    and tgt > c_old
+                ):
+                    continue
+                if down_only and tgt > c_old:
+                    deferred += 1
+                    continue
+                applied.append((u, tgt))
+            for u, tgt in applied:
+                self._apply_move(u, tgt)
+            n_applied = len(applied)
 
         hub_gain = np.zeros(lg.n_hubs)
         if lg.n_hubs:
@@ -555,7 +797,7 @@ class LocalClustering:
             hub_target[prop] = hub_choice[prop].astype(np.float64)
         else:
             hub_target = _EMPTY_F64
-        return len(applied) + deferred, hub_gain, hub_target
+        return n_applied + deferred, hub_gain, hub_target
 
     # ------------------------------------------------------------------
     # Phase 2: delegate consensus
@@ -581,6 +823,15 @@ class LocalClustering:
         winner = self.comm.allreduce(stacked, op=hub_op)
         win_gain = winner[0]
         win_target = winner[1].astype(np.int64)
+
+        if self._dense_tables:
+            hub_cu = self.comm_of[lg.n_owned : lg.n_rows]
+            apply = (win_gain > self.theta) & (win_target != hub_cu)
+            rows = lg.n_owned + np.flatnonzero(apply)
+            # cache updates are once-per-rank optimistic, exactly like the
+            # per-hub loop below; everything is rebuilt in sync_aggregates
+            self._apply_moves_bulk(rows, win_target[apply])
+            return int(np.count_nonzero(apply & self._hub_designated))
 
         moves_counted = 0
         for j in range(lg.n_hubs):

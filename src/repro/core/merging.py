@@ -12,12 +12,21 @@ entries doubled.  Summed across ranks this gives ``D[c][d] = w(c, d)`` for
 entries at full weight and the self-loop at ``D[c][c] / 2``, preserving both
 ``m`` and all community degrees (see :mod:`repro.core.coarsen` for the
 sequential equivalent).
+
+The local assembly step (building the coarse CSR from the received pair
+aggregates) has two implementations selected by ``impl``: ``vectorized``
+(default) remaps labels with ``searchsorted`` arithmetic and scatters
+degrees with ``np.add.at``, ``scalar`` is the dict-based reference.  Both
+produce bit-identical :class:`LocalGraph` fields — ``np.add.at`` applies its
+updates sequentially in stream order, exactly like the scalar loop — and
+``tests/core/test_agg_equivalence.py`` pins that.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.pack import pack_by_owner
 from repro.partition.distgraph import LocalGraph
 from repro.runtime.comm import SimComm
 
@@ -26,6 +35,32 @@ __all__ = ["merge_level"]
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
 _EMPTY_F64 = np.zeros(0, dtype=np.float64)
 
+# largest n_global for which cu * n_global + cv cannot overflow int64
+# (floor(sqrt(2**63 - 1))); beyond it the keyed path would silently wrap
+# and merge unrelated pairs, so aggregation switches to the lexsort path
+_PAIR_KEY_LIMIT = 3_037_000_499
+
+
+def _aggregate_pairs_sorted(
+    cu: np.ndarray, cv: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pair aggregation without forming ``cu * n + cv`` keys.
+
+    Lexsort is stable, so each ``(cu, cv)`` group keeps its entries in
+    original order; the unbuffered ``np.add.at`` scatter then accumulates
+    each group with the same strictly sequential additions as the keyed
+    path (``reduceat`` would not do: it sums long segments pairwise).
+    """
+    order = np.lexsort((cv, cu))
+    cu_s, cv_s, w_s = cu[order], cv[order], w[order]
+    boundary = np.empty(cu_s.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (cu_s[1:] != cu_s[:-1]) | (cv_s[1:] != cv_s[:-1])
+    starts = np.flatnonzero(boundary)
+    w_sum = np.zeros(starts.size)
+    np.add.at(w_sum, np.cumsum(boundary) - 1, w_s)
+    return cu_s[starts], cv_s[starts], w_sum
+
 
 def _aggregate_pairs(
     cu: np.ndarray, cv: np.ndarray, w: np.ndarray, n_global: int
@@ -33,6 +68,8 @@ def _aggregate_pairs(
     """Sum ``w`` over identical ``(cu, cv)`` pairs."""
     if cu.size == 0:
         return _EMPTY_I64, _EMPTY_I64, _EMPTY_F64
+    if n_global > _PAIR_KEY_LIMIT:
+        return _aggregate_pairs_sorted(cu, cv, w)
     key = cu * np.int64(n_global) + cv
     uniq, inv = np.unique(key, return_inverse=True)
     w_sum = np.zeros(uniq.size)
@@ -40,8 +77,77 @@ def _aggregate_pairs(
     return (uniq // n_global).astype(np.int64), (uniq % n_global).astype(np.int64), w_sum
 
 
+def _assemble_scalar(
+    rank: int, size: int, k: int, ncu: np.ndarray, ncv: np.ndarray, nw: np.ndarray
+):
+    """Dict-based reference assembly of one rank's coarse rows.
+
+    Returns ``(owned, wdeg, selfloop, ghosts, global_ids, src_local,
+    dst_local, stored_w)``; the caller finishes the CSR (sort + indptr).
+    """
+    owned = np.arange(rank, k, size, dtype=np.int64)
+    wdeg = np.zeros(owned.size)
+    owned_pos = {int(c): i for i, c in enumerate(owned)}
+    selfloop = np.zeros(owned.size)
+    for c, d, ww in zip(ncu.tolist(), ncv.tolist(), nw.tolist()):
+        i = owned_pos[c]
+        wdeg[i] += ww
+        if c == d:
+            selfloop[i] += ww / 2.0
+
+    ghosts = np.unique(ncv[(ncv % size) != rank])
+    global_ids = np.concatenate([owned, ghosts])
+    local_of = {}
+    for i, g in enumerate(global_ids.tolist()):
+        local_of[g] = i
+
+    # store the self-loop at half its aggregated (doubled) weight
+    stored_w = np.where(ncu == ncv, nw / 2.0, nw)
+    src_local = np.fromiter(
+        (local_of[c] for c in ncu.tolist()), dtype=np.int64, count=ncu.size
+    )
+    dst_local = np.fromiter(
+        (local_of[c] for c in ncv.tolist()), dtype=np.int64, count=ncv.size
+    )
+    return owned, wdeg, selfloop, ghosts, global_ids, src_local, dst_local, stored_w
+
+
+def _assemble_vectorized(
+    rank: int, size: int, k: int, ncu: np.ndarray, ncv: np.ndarray, nw: np.ndarray
+):
+    """Vectorized assembly, bit-identical to :func:`_assemble_scalar`.
+
+    This rank's owned coarse ids are ``rank, rank + size, ...``, so the
+    owned-position dict is just ``(c - rank) // size`` and ghost positions
+    are ``searchsorted`` into the sorted ghost array.  Degree/self-loop
+    accumulation via ``np.add.at`` replays the scalar loop's stream order.
+    """
+    owned = np.arange(rank, k, size, dtype=np.int64)
+    src_local = (ncu - rank) // size
+    wdeg = np.zeros(owned.size)
+    np.add.at(wdeg, src_local, nw)
+    selfloop = np.zeros(owned.size)
+    diag = ncu == ncv
+    np.add.at(selfloop, src_local[diag], nw[diag] / 2.0)
+
+    ghost_mask = (ncv % size) != rank
+    ghosts = np.unique(ncv[ghost_mask])
+    global_ids = np.concatenate([owned, ghosts])
+
+    stored_w = np.where(diag, nw / 2.0, nw)
+    dst_local = np.where(
+        ghost_mask,
+        owned.size + np.searchsorted(ghosts, ncv),
+        (ncv - rank) // size,
+    )
+    return owned, wdeg, selfloop, ghosts, global_ids, src_local, dst_local, stored_w
+
+
 def merge_level(
-    comm: SimComm, lg: LocalGraph, comm_of: np.ndarray
+    comm: SimComm,
+    lg: LocalGraph,
+    comm_of: np.ndarray,
+    impl: str = "vectorized",
 ) -> tuple[LocalGraph, np.ndarray, np.ndarray]:
     """Merge communities into a new 1D-partitioned :class:`LocalGraph`.
 
@@ -49,6 +155,9 @@ def merge_level(
     ----------
     comm_of:
         Final community label per local vertex from the converged level.
+    impl:
+        Local-assembly kernel: ``"vectorized"`` (default) or the
+        dict-based ``"scalar"`` reference.  Identical output either way.
 
     Returns
     -------
@@ -57,6 +166,8 @@ def merge_level(
         this rank is authoritative for (owned low vertices and designated
         hubs) and ``coarse_ids[i]`` its dense community id in the new graph.
     """
+    if impl not in ("vectorized", "scalar"):
+        raise ValueError("impl must be 'vectorized' or 'scalar'")
     size = comm.size
     n_global = lg.n_global
 
@@ -79,10 +190,7 @@ def merge_level(
     acv = np.concatenate([acv, mem_labels])
     aw = np.concatenate([aw, np.zeros(mem_labels.size)])
 
-    owner = acu % size
-    payloads = [
-        (acu[owner == r], acv[owner == r], aw[owner == r]) for r in range(size)
-    ]
+    payloads = pack_by_owner(acu % size, size, acu, acv, aw)
     received = comm.alltoall(payloads)
 
     rcu = np.concatenate([p[0] for p in received]) if received else _EMPTY_I64
@@ -103,15 +211,7 @@ def merge_level(
     coarse_ids = np.searchsorted(global_labels, comm_of[mem_local])
 
     # --- 3. redistribute rows to the coarse graph's 1D owners -----------
-    new_owner = dense_cu % size
-    payloads = [
-        (
-            dense_cu[new_owner == r],
-            dense_cv[new_owner == r],
-            rw[new_owner == r],
-        )
-        for r in range(size)
-    ]
+    payloads = pack_by_owner(dense_cu % size, size, dense_cu, dense_cv, rw)
     received = comm.alltoall(payloads)
     ncu = np.concatenate([p[0] for p in received]) if received else _EMPTY_I64
     ncv = np.concatenate([p[1] for p in received]) if received else _EMPTY_I64
@@ -119,33 +219,14 @@ def merge_level(
     ncu, ncv, nw = _aggregate_pairs(ncu, ncv, nw, max(k, 1))
 
     # --- 4. assemble the new LocalGraph ---------------------------------
-    owned = np.arange(comm.rank, k, size, dtype=np.int64)
     # degrees come for free: wdeg(c) = sum_d D[c][d] (diagonal pre-doubled)
-    wdeg = np.zeros(owned.size)
-    owned_pos = {int(c): i for i, c in enumerate(owned)}
-    selfloop = np.zeros(owned.size)
     keep = nw > 0.0
     ncu, ncv, nw = ncu[keep], ncv[keep], nw[keep]
-    for c, d, ww in zip(ncu.tolist(), ncv.tolist(), nw.tolist()):
-        i = owned_pos[c]
-        wdeg[i] += ww
-        if c == d:
-            selfloop[i] += ww / 2.0
-
-    ghosts = np.unique(ncv[(ncv % size) != comm.rank])
-    global_ids = np.concatenate([owned, ghosts])
-    local_of = {}
-    for i, g in enumerate(global_ids.tolist()):
-        local_of[g] = i
-
-    # store the self-loop at half its aggregated (doubled) weight
-    stored_w = np.where(ncu == ncv, nw / 2.0, nw)
-    src_local = np.fromiter(
-        (local_of[c] for c in ncu.tolist()), dtype=np.int64, count=ncu.size
+    assemble = _assemble_vectorized if impl == "vectorized" else _assemble_scalar
+    owned, wdeg, selfloop, ghosts, global_ids, src_local, dst_local, stored_w = (
+        assemble(comm.rank, size, k, ncu, ncv, nw)
     )
-    dst_local = np.fromiter(
-        (local_of[c] for c in ncv.tolist()), dtype=np.int64, count=ncv.size
-    )
+
     order = np.lexsort((dst_local, src_local))
     src_local, dst_local, stored_w = (
         src_local[order],
@@ -174,8 +255,7 @@ def merge_level(
     )
 
     # --- 5. rebuild ghost-exchange maps distributedly -------------------
-    ghost_owner = ghosts % size
-    requests = [ghosts[ghost_owner == r] for r in range(size)]
+    requests = pack_by_owner(ghosts % size, size, ghosts)
     incoming = comm.alltoall(requests)
     new_lg.recv_from = {
         r: requests[r] for r in range(size) if requests[r].size

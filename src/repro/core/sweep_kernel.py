@@ -102,9 +102,10 @@ def bulk_best_moves(
     comm_of: np.ndarray,
     row_wdeg: np.ndarray,
     n_rows: int,
-    sigma_tot: dict[int, float],
-    csize: dict[int, int],
-    local_members: dict[int, int],
+    sigma_tot: dict[int, float] | None = None,
+    csize: dict[int, int] | None = None,
+    local_members: dict[int, int] | None = None,
+    table=None,
     two_m: float,
     resolution: float,
     theta: float,
@@ -131,22 +132,27 @@ def bulk_best_moves(
         entry_rows, indices, weights, comm_of
     )
 
-    # one dict lookup per *unique* referenced label, then pure array math
+    # one cache lookup per *unique* referenced label, then pure array math:
+    # a dense CommunityTable answers all labels with one searchsorted pass,
+    # dict-backed caches fall back to per-label gets
     labels_all = np.unique(np.concatenate([pc, cu]))
-    lab_list = labels_all.tolist()
-    n_lab = len(lab_list)
-    st = np.fromiter(
-        (sigma_tot.get(lab, 0.0) for lab in lab_list), np.float64, count=n_lab
-    )
-    st_known = np.fromiter(
-        (lab in sigma_tot for lab in lab_list), bool, count=n_lab
-    )
-    sz = np.fromiter(
-        (csize.get(lab, 1) for lab in lab_list), np.int64, count=n_lab
-    )
-    loc = np.fromiter(
-        (local_members.get(lab, 0) > 0 for lab in lab_list), bool, count=n_lab
-    )
+    if table is not None:
+        st, st_known, sz, loc = table.lookup_eval(labels_all)
+    else:
+        lab_list = labels_all.tolist()
+        n_lab = len(lab_list)
+        st = np.fromiter(
+            (sigma_tot.get(lab, 0.0) for lab in lab_list), np.float64, count=n_lab
+        )
+        st_known = np.fromiter(
+            (lab in sigma_tot for lab in lab_list), bool, count=n_lab
+        )
+        sz = np.fromiter(
+            (csize.get(lab, 1) for lab in lab_list), np.int64, count=n_lab
+        )
+        loc = np.fromiter(
+            (local_members.get(lab, 0) > 0 for lab in lab_list), bool, count=n_lab
+        )
     pos_cu = np.searchsorted(labels_all, cu)
     pos_pc = np.searchsorted(labels_all, pc)
 
@@ -181,7 +187,7 @@ def bulk_best_moves(
     # greedy/minlabel pick the minimum label; enhanced prefixes the label
     # with its category (local=0, remote multi-member=1, remote singleton=2)
     if heuristic_name == "enhanced":
-        label_span = int(labels_all[-1]) + 1 if n_lab else 1
+        label_span = int(labels_all[-1]) + 1 if labels_all.size else 1
         category = np.where(loc[cpos], 0, np.where(sz[cpos] > 1, 1, 2))
         key = category.astype(np.int64) * label_span + cpc
     else:

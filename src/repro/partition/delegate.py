@@ -100,14 +100,19 @@ def _rebalance_high_entries(
     if not surplus_ranks or not deficit:
         return
 
+    from repro.core.pack import pack_by_owner  # deferred: core imports partition
+
     movable_idx = np.flatnonzero(movable)
     movable_rank = entry_rank[movable_idx]
+    # bucket the movable entries by their (pre-rebalance) rank once; the
+    # stable pack keeps each bucket ascending, like the masks it replaces
+    mine_of = pack_by_owner(movable_rank, size, movable_idx)
     deficit_order = sorted(deficit)
     for r in surplus_ranks:
         excess = int(counts[r] - np.ceil(target))
         if excess <= 0:
             continue
-        mine = movable_idx[movable_rank == r]
+        mine = mine_of[r]
         take = mine[-excess:] if excess < mine.size else mine
         ti = 0
         for d in deficit_order:

@@ -145,6 +145,10 @@ def build_local_graphs(
     hub_global_ids:
         Sorted global ids of delegated hubs (empty for 1D).
     """
+    # imported here, not at module top: repro.core's __init__ eagerly pulls
+    # in the distributed driver, which imports this module back
+    from repro.core.pack import pack_bounds, pack_by_owner
+
     n = graph.n_vertices
     rows_global = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
     cols_global = graph.indices
@@ -163,13 +167,19 @@ def build_local_graphs(
     send_to_all: list[dict[int, list[np.ndarray]]] = [dict() for _ in range(size)]
     recv_from_all: list[dict[int, np.ndarray]] = [dict() for _ in range(size)]
 
-    for r in range(size):
-        mask = entry_rank == r
-        e_src = rows_global[mask]
-        e_dst = cols_global[mask]
-        e_w = wts[mask]
+    # one stable bucketing pass over all E entries instead of a boolean
+    # scan per rank; within a bucket the original entry order is preserved
+    entry_order, entry_bounds = pack_bounds(entry_rank, size)
 
-        owned = np.flatnonzero((owners == r) & ~is_hub)
+    for r in range(size):
+        sel = entry_order[entry_bounds[r] : entry_bounds[r + 1]]
+        e_src = rows_global[sel]
+        e_dst = cols_global[sel]
+        e_w = wts[sel]
+
+        # round-robin owned ids are just arange(r, n, size), hubs excluded
+        cand = np.arange(r, n, size, dtype=np.int64)
+        owned = cand[~is_hub[cand]]
         # ghosts: entry endpoints that are neither owned here nor hubs
         endpoints = np.unique(np.concatenate([e_src, e_dst]))
         ghost_mask = (owners[endpoints] != r) & ~is_hub[endpoints]
@@ -211,13 +221,14 @@ def build_local_graphs(
         )
         locals_.append(lg)
 
-        # record ghost subscriptions
+        # record ghost subscriptions (ghosts is sorted, the stable pack
+        # keeps each per-peer bucket sorted too)
         if ghosts.size:
-            ghost_owners = owner_of(ghosts, size)
-            for peer in np.unique(ghost_owners):
-                ids = ghosts[ghost_owners == peer]
-                recv_from_all[r][int(peer)] = ids
-                send_to_all[int(peer)].setdefault(r, []).append(ids)
+            buckets = pack_by_owner(owner_of(ghosts, size), size, ghosts)
+            for peer, ids in enumerate(buckets):
+                if ids.size:
+                    recv_from_all[r][peer] = ids
+                    send_to_all[peer].setdefault(r, []).append(ids)
 
     for r in range(size):
         locals_[r].recv_from = recv_from_all[r]

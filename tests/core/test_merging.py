@@ -119,3 +119,47 @@ class TestMergeCorrectness:
         _, results = distributed_merge(web_graph, 4, a)
         for lg, _, _ in results:
             lg.validate()
+
+
+class TestAggregatePairsOverflow:
+    """The keyed pair aggregation (cu * n_global + cv) wraps int64 once
+    n_global exceeds ~3.03e9; beyond that limit the lexsort path must take
+    over with identical results."""
+
+    def test_sorted_path_matches_keyed_path(self):
+        from repro.core.merging import _aggregate_pairs, _aggregate_pairs_sorted
+
+        rng = np.random.default_rng(42)
+        cu = rng.integers(0, 50, 500).astype(np.int64)
+        cv = rng.integers(0, 50, 500).astype(np.int64)
+        w = rng.standard_normal(500) ** 2
+        ku, kv, kw = _aggregate_pairs(cu, cv, w, 50)
+        su, sv, sw = _aggregate_pairs_sorted(cu, cv, w)
+        assert np.array_equal(ku, su)
+        assert np.array_equal(kv, sv)
+        assert kw.tobytes() == sw.tobytes()  # same accumulation order
+
+    def test_huge_n_global_does_not_wrap(self):
+        from repro.core.merging import _PAIR_KEY_LIMIT, _aggregate_pairs
+
+        n_global = _PAIR_KEY_LIMIT * 3  # key path would overflow int64
+        hi = np.int64(n_global - 1)
+        cu = np.array([hi, 0, hi, 0], dtype=np.int64)
+        cv = np.array([0, hi, 0, hi], dtype=np.int64)
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        au, av, aw = _aggregate_pairs(cu, cv, w, n_global)
+        assert au.size == 2  # two distinct pairs, NOT merged by key wrap
+        assert np.array_equal(au, [0, hi])
+        assert np.array_equal(av, [hi, 0])
+        assert np.array_equal(aw, [6.0, 4.0])
+
+    def test_below_limit_uses_keyed_path_unchanged(self):
+        from repro.core.merging import _aggregate_pairs
+
+        cu = np.array([1, 1, 0], dtype=np.int64)
+        cv = np.array([2, 2, 1], dtype=np.int64)
+        w = np.array([0.5, 0.25, 1.0])
+        au, av, aw = _aggregate_pairs(cu, cv, w, 3)
+        assert np.array_equal(au, [0, 1])
+        assert np.array_equal(av, [1, 2])
+        assert np.array_equal(aw, [1.0, 0.75])
