@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify point-to-point payload checksums at recv",
     )
+    p.add_argument(
+        "--backend",
+        choices=["thread", "process", "auto"],
+        default="auto",
+        help="SPMD execution backend: thread-per-rank (default), "
+        "process-per-rank (true multi-core), or auto "
+        "(REPRO_DEFAULT_BACKEND environment variable)",
+    )
     p.add_argument("--sequential", action="store_true", help="run the sequential baseline instead")
     p.add_argument("--output", type=Path, default=None, help="write 'vertex community' pairs here")
     p.add_argument(
@@ -204,6 +212,7 @@ def _cmd_cluster(args) -> int:
             sweep_mode=args.sweep_mode,
             agg_mode=args.agg_mode,
             checksums=args.checksums,
+            backend=args.backend,
             checkpoint_path=(
                 str(args.checkpoint_path) if args.checkpoint_path else None
             ),

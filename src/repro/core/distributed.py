@@ -75,6 +75,9 @@ class DistributedConfig:
     checkpoint_every_level: int = 0  # 0 disables checkpointing
     checkpoint_path: str | None = None
     checksums: bool = False  # verify p2p payload CRC32s at recv
+    # execution backend: "thread" | "process" | "auto" (defer to the
+    # REPRO_DEFAULT_BACKEND environment variable; see repro.runtime)
+    backend: str = "auto"
 
 
 @dataclass
@@ -357,6 +360,7 @@ def distributed_louvain(
         faults=faults,
         tracer=tracer,
         checksums=cfg.checksums,
+        backend=cfg.backend,
     )
     wall = time.perf_counter() - t1
 

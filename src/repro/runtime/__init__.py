@@ -1,18 +1,26 @@
 """Simulated MPI / BSP runtime.
 
-The paper runs MPI + C++ on up to 32,768 Titan cores.  This environment has
-one CPU core and no MPI, so distributed execution is *simulated*: every
-logical rank runs the real algorithm in its own thread against a
-:class:`~repro.runtime.comm.SimComm`, whose API mirrors mpi4py
-(``send``/``recv``, ``bcast``, ``allreduce``, ``alltoall``, ``allgather``,
-``barrier``).  The communicator meters every message with byte accuracy and
-logs BSP supersteps, so the cost model in
-:mod:`repro.runtime.costmodel` can convert a run into a simulated
-distributed-memory makespan (see DESIGN.md, "Substitutions").
+The paper runs MPI + C++ on up to 32,768 Titan cores.  Here distributed
+execution runs on one of two interchangeable backends behind
+:func:`run_spmd`:
 
-Correctness of the simulation does not depend on real parallelism: ranks are
-plain Python threads synchronised by barriers, which under the GIL
-interleave exactly like a BSP machine.
+* **thread** (default) — every logical rank runs the real algorithm in its
+  own thread against a :class:`~repro.runtime.comm.SimComm`, whose API
+  mirrors mpi4py (``send``/``recv``, ``bcast``, ``allreduce``,
+  ``alltoall``, ``allgather``, ``barrier``); under the GIL the ranks
+  interleave exactly like a BSP machine.
+* **process** — every rank runs in its own spawned interpreter
+  (:mod:`repro.runtime.process_backend`), sharing the read-only CSR graph
+  through :mod:`multiprocessing.shared_memory` and routing messages over
+  pipes, for true multi-core execution on the non-NumPy portions of a
+  superstep.
+
+Both backends meter every message with byte accuracy and log BSP
+supersteps — the accounting code is shared in
+:class:`~repro.runtime.commbase.CommBase`, and the conformance suite pins
+identical results and counters — so the cost model in
+:mod:`repro.runtime.costmodel` can convert any run into a simulated
+distributed-memory makespan (see DESIGN.md, "Substitutions").
 """
 
 from repro.runtime.comm import (
@@ -23,7 +31,13 @@ from repro.runtime.comm import (
     CorruptionError,
     Request,
 )
-from repro.runtime.engine import run_spmd, SPMDError
+from repro.runtime.commbase import CommBase
+from repro.runtime.engine import run_spmd, resolve_backend, SPMDError
+from repro.runtime.process_backend import (
+    ChildCrashError,
+    ProcComm,
+    ProgramNotPicklableError,
+)
 from repro.runtime.stats import (
     RankStats,
     RunStats,
@@ -49,12 +63,17 @@ from repro.runtime import reducers
 
 __all__ = [
     "SimComm",
+    "CommBase",
+    "ProcComm",
     "CommError",
     "DeadlockError",
     "CollectiveMismatchError",
     "CorruptionError",
+    "ChildCrashError",
+    "ProgramNotPicklableError",
     "Request",
     "run_spmd",
+    "resolve_backend",
     "SPMDError",
     "RankStats",
     "RunStats",

@@ -1,0 +1,581 @@
+"""Backend-independent communicator core.
+
+:class:`CommBase` is the single implementation of the mpi4py-flavoured API
+that SPMD programs run against — phase tagging, compute/traffic accounting,
+tracer hooks, checksum envelopes, and every collective's byte/message model
+live here, shared verbatim by both execution backends:
+
+* :class:`repro.runtime.comm.SimComm` — thread backend, transport is the
+  in-process :class:`~repro.runtime.comm._World`;
+* :class:`repro.runtime.process_backend.ProcComm` — process backend,
+  transport is a pickle-framed duplex pipe to the parent router.
+
+Because the accounting code is literally shared, the two backends produce
+identical per-rank per-phase byte, message, collective and superstep
+counters for the same SPMD program — the invariant the cross-backend
+conformance suite (``tests/runtime/test_backend_equivalence.py``) pins.
+
+Subclasses implement only the transport primitives:
+
+``_exchange(gen, value, op)``
+    The collective primitive: deposit ``value`` for generation ``gen`` and
+    return every rank's contribution (raising
+    :class:`CollectiveMismatchError` when op tags diverge and
+    :class:`DeadlockError` when the collective cannot complete).
+``_transport_send(dest, tag, obj)``
+    Deliver one point-to-point payload (applying fault injection and
+    checksum wrapping on the way).
+``_transport_recv(source, tag, timeout)`` / ``_transport_try_recv``
+    Blocking / non-blocking point-to-point receive of the raw (possibly
+    envelope-wrapped) payload.
+``_collective_hook(gen)``
+    Called before each collective — the thread backend's fault-injection
+    site (the process backend injects in the parent router instead).
+
+Byte accounting (see :mod:`repro.runtime.stats`):
+
+* point-to-point: payload bytes counted once at the sender, once at the
+  receiver;
+* ``alltoall`` / ``allgather`` / ``gather`` / ``scatter``: pairwise volumes
+  (a rank sends its payload to each of the ``p - 1`` peers that actually
+  receive it);
+* ``allreduce`` / ``bcast`` / ``reduce``: counted as ``ceil(log2 p)``
+  payload transfers per rank, the volume of the tree/recursive-doubling
+  algorithms every real MPI uses.
+
+Two invariants hold everywhere: a rank "sending" to itself contributes
+nothing (self-deliveries never touch the wire), and a *message* is counted
+per peer transfer only when the payload is non-empty — the alltoall rule,
+applied uniformly to every collective.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.runtime import reducers
+from repro.runtime.stats import RankStats, payload_checksum, payload_nbytes
+
+__all__ = [
+    "CommBase",
+    "CommError",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "CorruptionError",
+    "Request",
+]
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py ``Request`` analogue).
+
+    ``isend`` requests complete immediately (the simulated transport is
+    buffered); ``irecv`` requests complete when a matching message is
+    available.  ``wait`` blocks (up to the world timeout), ``test`` polls.
+    """
+
+    def __init__(self, fetch=None, value: Any = None) -> None:
+        self._fetch = fetch  # None for send requests
+        self._value = value
+        self._done = fetch is None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check; returns ``(done, value)``."""
+        if self._done:
+            return True, self._value
+        ok, value = self._fetch(block=False)
+        if ok:
+            self._done = True
+            self._value = value
+        return self._done, self._value
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received object (or ``None``
+        for send requests)."""
+        if not self._done:
+            _ok, value = self._fetch(block=True)
+            self._done = True
+            self._value = value
+        return self._value
+
+
+class CommError(RuntimeError):
+    """Misuse of the communicator (bad rank, mismatched collective...)."""
+
+
+class DeadlockError(RuntimeError):
+    """A blocking receive waited past its timeout."""
+
+
+class CollectiveMismatchError(CommError):
+    """Ranks diverged from the SPMD collective order: the same exchange
+    generation was entered with different operations (or roots)."""
+
+
+class CorruptionError(CommError):
+    """A point-to-point payload failed its checksum at ``recv``."""
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    """Checksummed wrapper around a p2p payload (``checksums=True``).  The
+    checksum is computed at ``send`` on the original payload, so anything
+    that mutates the message in transit is caught at ``recv``."""
+
+    payload: Any
+    checksum: int
+
+
+class _TraceSpan:
+    """Context manager behind ``trace_span``: yields a mutable args dict the
+    caller may fill while the span is open; emits one complete event at exit
+    (no-op with no tracer, so algorithm code never branches on tracing)."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "args", "_t0")
+
+    def __init__(self, tracer, name: str, cat: str, args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self.args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> dict:
+        if self._tracer is not None:
+            self._t0 = time.perf_counter()
+        return self.args
+
+    def __exit__(self, *exc) -> bool:
+        if self._tracer is not None:
+            self._tracer.complete(
+                self._name, self._t0, cat=self._cat, args=self.args or None
+            )
+        return False
+
+
+class CommBase:
+    """Per-rank communicator handle; see the module docstring.
+
+    Algorithm code receives one of these as its first argument (exactly like
+    an ``MPI.Comm``) and must only ever use its own instance.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        stats: RankStats,
+        tracer=None,
+        timeout: float = 120.0,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.stats = stats
+        self._timeout = timeout
+        self._gen = 0
+        self._phase = "other"
+        # RankTracer | None; None is the near-zero-overhead default — every
+        # hot path pays exactly one attribute check
+        self._tracer = tracer
+        # comm-matrix attribution for the tree collectives (bcast /
+        # allreduce): the log2(p) recursive-doubling partners of this rank.
+        # XOR gives the textbook partner; the additive fallback covers
+        # non-power-of-two worlds (never self: 0 < 2^k < p).
+        if size > 1:
+            partners = []
+            for k in range(max(1, math.ceil(math.log2(size)))):
+                partner = rank ^ (1 << k)
+                if partner >= size:
+                    partner = (rank + (1 << k)) % size
+                partners.append(partner)
+            self._tree_partners: list[int] = partners
+        else:
+            self._tree_partners = []
+
+    # ------------------------------------------------------------------
+    # Transport primitives (subclass responsibility)
+    # ------------------------------------------------------------------
+    def _exchange(self, gen: int, value: Any, op: str) -> list[Any]:
+        raise NotImplementedError
+
+    def _transport_send(self, dest: int, tag: int, obj: Any) -> None:
+        raise NotImplementedError
+
+    def _transport_recv(self, source: int, tag: int, timeout: float) -> Any:
+        raise NotImplementedError
+
+    def _transport_try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        raise NotImplementedError
+
+    def _collective_hook(self, gen: int) -> None:
+        """Fault-injection site before the rank's ``gen``-th collective."""
+
+    def fault_event(self, name: str) -> None:
+        """Named synchronisation point for fault triggers (no-op unless a
+        fault plan is active).  Algorithm code emits these at natural
+        recovery boundaries — e.g. ``"level:3"`` after Louvain level 3."""
+
+    # ------------------------------------------------------------------
+    # Phase tagging (drives the Fig. 8(b) execution-time breakdown)
+    # ------------------------------------------------------------------
+    def set_phase(self, name: str) -> None:
+        if self._tracer is not None and name != self._phase:
+            self._tracer.instant(
+                "set_phase", cat="phase", args={"from": self._phase, "to": name}
+            )
+        self._phase = name
+
+    class _PhaseCtx:
+        def __init__(self, comm: "CommBase", name: str) -> None:
+            self._comm = comm
+            self._name = name
+            self._prev = comm._phase
+            self._t0 = 0.0
+
+        def __enter__(self):
+            self._prev = self._comm._phase
+            self._comm._phase = self._name
+            if self._comm._tracer is not None:
+                self._t0 = time.perf_counter()
+            return self._comm
+
+        def __exit__(self, *exc):
+            self._comm._phase = self._prev
+            if self._comm._tracer is not None:
+                self._comm._tracer.complete(self._name, self._t0, cat="phase")
+            return False
+
+    def phase(self, name: str) -> "CommBase._PhaseCtx":
+        """Context manager attributing compute/comm to a named phase."""
+        return CommBase._PhaseCtx(self, name)
+
+    def add_compute(self, units: float) -> None:
+        """Record abstract compute work (units == scanned edge endpoints)."""
+        self.stats.add_compute(units, self._phase)
+
+    # ------------------------------------------------------------------
+    # Tracing hooks (no-ops unless a tracer is attached, see
+    # :mod:`repro.runtime.tracing`)
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """True when a tracer is attached; algorithm code gates *extra*
+        telemetry computation (e.g. ghost-churn counting) on this."""
+        return self._tracer is not None
+
+    def trace_span(self, name: str, cat: str = "", **args) -> _TraceSpan:
+        """Open an algorithm-level span; yields a mutable args dict whose
+        final contents become the span's payload (e.g. per-level
+        convergence telemetry)."""
+        return _TraceSpan(self._tracer, name, cat, args)
+
+    def trace_instant(self, name: str, cat: str = "", **args) -> None:
+        """Emit a point event (e.g. per-iteration modularity)."""
+        if self._tracer is not None:
+            self._tracer.instant(name, cat=cat, args=args or None)
+
+    def _trace_coll(self, t0: float, name: str, sent: float, recv: float) -> None:
+        if self._tracer is not None:
+            self._tracer.complete(
+                name,
+                t0,
+                cat="collective",
+                args={
+                    "phase": self._phase,
+                    "bytes_sent": sent,
+                    "bytes_recv": recv,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise CommError(f"send: bad destination rank {dest}")
+        # self-sends are legal in MPI and deliver through the mailbox, but
+        # they never touch the wire, so they must not count as traffic
+        if dest != self.rank:
+            nbytes = payload_nbytes(obj)
+            self.stats.add_sent(nbytes, self._phase)
+            self.stats.add_edge(dest, nbytes, self._phase)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "send",
+                    cat="p2p",
+                    args={
+                        "dst": dest,
+                        "tag": tag,
+                        "bytes": nbytes,
+                        "phase": self._phase,
+                    },
+                )
+        self._transport_send(dest, tag, obj)
+
+    def _open_envelope(self, source: int, tag: int, payload: Any) -> Any:
+        """Verify and unwrap a checksummed payload (pass-through otherwise)."""
+        if isinstance(payload, _Envelope):
+            actual = payload_checksum(payload.payload)
+            if actual != payload.checksum:
+                raise CorruptionError(
+                    f"rank {self.rank}: payload checksum mismatch on message "
+                    f"(src={source}, dst={self.rank}, tag={tag}): expected "
+                    f"{payload.checksum:#010x}, got {actual:#010x}"
+                )
+            return payload.payload
+        return payload
+
+    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+        if not 0 <= source < self.size:
+            raise CommError(f"recv: bad source rank {source}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        payload = self._transport_recv(source, tag, timeout or self._timeout)
+        payload = self._open_envelope(source, tag, payload)
+        nbytes = 0
+        if source != self.rank:
+            nbytes = payload_nbytes(payload)
+            self.stats.add_recv(nbytes, self._phase)
+        if self._tracer is not None:
+            # span, not instant: the duration is the blocking wait time
+            self._tracer.complete(
+                "recv",
+                t0,
+                cat="p2p",
+                args={
+                    "src": source,
+                    "tag": tag,
+                    "bytes": nbytes,
+                    "phase": self._phase,
+                },
+            )
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; the simulated transport is buffered, so the
+        request is complete on return (``wait`` returns ``None``)."""
+        self.send(obj, dest, tag)
+        return Request()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; resolve via ``Request.test``/``wait``."""
+        if not 0 <= source < self.size:
+            raise CommError(f"irecv: bad source rank {source}")
+
+        def fetch(block: bool) -> tuple[bool, Any]:
+            if block:
+                payload = self._transport_recv(source, tag, self._timeout)
+                ok = True
+            else:
+                ok, payload = self._transport_try_recv(source, tag)
+            if ok:
+                payload = self._open_envelope(source, tag, payload)
+                nbytes = 0
+                if source != self.rank:
+                    nbytes = payload_nbytes(payload)
+                    self.stats.add_recv(nbytes, self._phase)
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "irecv",
+                        cat="p2p",
+                        args={
+                            "src": source,
+                            "tag": tag,
+                            "bytes": nbytes,
+                            "phase": self._phase,
+                        },
+                    )
+            return ok, payload
+
+        return Request(fetch=fetch)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def _next_gen(self) -> int:
+        # the generation counter doubles as the rank's superstep index,
+        # which is what crash/straggler faults are scheduled against
+        self._collective_hook(self._gen)
+        g = self._gen
+        self._gen += 1
+        return g
+
+    def barrier(self) -> None:
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        self._exchange(self._next_gen(), None, op="barrier")
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "barrier", 0.0, 0.0)
+
+    def allgather(self, value: Any) -> list[Any]:
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        nbytes = payload_nbytes(value)
+        out = self._exchange(self._next_gen(), value, op="allgather")
+        # alltoall rule: zero-byte payloads put no messages on the wire
+        n_msgs = self.size - 1 if nbytes > 0 else 0
+        self.stats.add_sent(nbytes * (self.size - 1), self._phase, n_msgs)
+        if nbytes > 0:
+            for peer in range(self.size):
+                if peer != self.rank:
+                    self.stats.add_edge(peer, nbytes, self._phase)
+        recv = sum(
+            payload_nbytes(v) for i, v in enumerate(out) if i != self.rank
+        )
+        self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "allgather", nbytes * (self.size - 1), recv)
+        return out
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """``values[i]`` goes to rank ``i``; returns what each rank sent us."""
+        if len(values) != self.size:
+            raise CommError(
+                f"alltoall: expected {self.size} payloads, got {len(values)}"
+            )
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        nb = [payload_nbytes(v) for v in values]
+        sent = sum(b for i, b in enumerate(nb) if i != self.rank)
+        n_msgs = sum(1 for i, b in enumerate(nb) if i != self.rank and b > 0)
+        self.stats.add_sent(sent, self._phase, n_msgs)
+        for i, b in enumerate(nb):
+            if i != self.rank and b > 0:
+                self.stats.add_edge(i, b, self._phase)
+        rows = self._exchange(self._next_gen(), list(values), op="alltoall")
+        out = [rows[src][self.rank] for src in range(self.size)]
+        recv = sum(
+            payload_nbytes(v) for i, v in enumerate(out) if i != self.rank
+        )
+        self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "alltoall", sent, recv)
+        return out
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"bcast: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        out = self._exchange(
+            self._next_gen(),
+            value if self.rank == root else None,
+            op=f"bcast(root={root})",
+        )
+        result = out[root]
+        log_p = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+        nbytes = payload_nbytes(result)
+        sent = 0.0
+        recv = 0.0
+        if self.size > 1:
+            # binomial-tree volume: every rank forwards at most log2(p) copies
+            sent = nbytes * log_p
+            recv = nbytes
+            self.stats.add_sent(sent, self._phase, log_p if nbytes > 0 else 0)
+            if nbytes > 0:
+                for peer in self._tree_partners:
+                    self.stats.add_edge(peer, nbytes, self._phase)
+            self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "bcast", sent, recv)
+        return result
+
+    def allreduce(self, value: Any, op: Callable = reducers.SUM) -> Any:
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        out = self._exchange(self._next_gen(), value, op="allreduce")
+        result = reducers.reduce_values(out, op)
+        sent = 0.0
+        recv = 0.0
+        if self.size > 1:
+            log_p = max(1, math.ceil(math.log2(self.size)))
+            nbytes = payload_nbytes(value)
+            # recursive-doubling volume
+            sent = nbytes * log_p
+            recv = nbytes * log_p
+            self.stats.add_sent(sent, self._phase, log_p if nbytes > 0 else 0)
+            if nbytes > 0:
+                for peer in self._tree_partners:
+                    self.stats.add_edge(peer, nbytes, self._phase)
+            self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "allreduce", sent, recv)
+        return result
+
+    def reduce(self, value: Any, op: Callable = reducers.SUM, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"reduce: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        out = self._exchange(self._next_gen(), value, op=f"reduce(root={root})")
+        sent = 0.0
+        recv = 0.0
+        if self.size > 1:
+            log_p = max(1, math.ceil(math.log2(self.size)))
+            nbytes = payload_nbytes(value)
+            # reduce tree: every non-root rank sends (at least) its own
+            # payload towards the root; the root only receives
+            if self.rank != root:
+                sent = nbytes
+                self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
+                if nbytes > 0:
+                    self.stats.add_edge(root, nbytes, self._phase)
+            else:
+                recv = nbytes * log_p
+                self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "reduce", sent, recv)
+        if self.rank == root:
+            return reducers.reduce_values(out, op)
+        return None
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        if not 0 <= root < self.size:
+            raise CommError(f"gather: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        out = self._exchange(self._next_gen(), value, op=f"gather(root={root})")
+        sent = 0.0
+        recv = 0.0
+        if self.rank != root:
+            nbytes = payload_nbytes(value)
+            sent = nbytes
+            self.stats.add_sent(nbytes, self._phase, 1 if nbytes > 0 else 0)
+            if nbytes > 0:
+                self.stats.add_edge(root, nbytes, self._phase)
+        else:
+            recv = sum(
+                payload_nbytes(v) for i, v in enumerate(out) if i != root
+            )
+            self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "gather", sent, recv)
+        return list(out) if self.rank == root else None
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommError(f"scatter: bad root {root}")
+        t0 = time.perf_counter() if self._tracer is not None else 0.0
+        sent = 0.0
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommError(
+                    f"scatter: root must supply exactly {self.size} payloads"
+                )
+            payload = list(values)
+            per_peer = [
+                (i, payload_nbytes(v)) for i, v in enumerate(values) if i != root
+            ]
+            sent = float(sum(s for _, s in per_peer))
+            self.stats.add_sent(
+                sent, self._phase, sum(1 for _, s in per_peer if s > 0)
+            )
+            for i, s in per_peer:
+                if s > 0:
+                    self.stats.add_edge(i, s, self._phase)
+        else:
+            payload = None
+        out = self._exchange(self._next_gen(), payload, op=f"scatter(root={root})")
+        mine = out[root][self.rank]
+        recv = 0.0
+        if self.rank != root:
+            recv = payload_nbytes(mine)
+            self.stats.add_recv(recv, self._phase)
+        self.stats.close_superstep(self._phase)
+        self._trace_coll(t0, "scatter", sent, recv)
+        return mine

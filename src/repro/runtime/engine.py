@@ -1,15 +1,53 @@
-"""SPMD thread engine: run one function on ``p`` simulated ranks."""
+"""SPMD engine: run one function on ``p`` ranks.
+
+Two execution backends share the :func:`run_spmd` entry point:
+
+* ``"thread"`` (default) — one daemon thread per rank in this interpreter,
+  communicating through the in-process :class:`~repro.runtime.comm._World`;
+* ``"process"`` — one spawned interpreter per rank with shared-memory graph
+  segments and pipe-routed messaging
+  (:mod:`repro.runtime.process_backend`), for true multi-core execution.
+
+Both produce identical results, byte accounting and failure semantics; the
+cross-backend conformance suite pins the equivalence.
+"""
 
 from __future__ import annotations
 
+import os
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.runtime.comm import SimComm, _World
 from repro.runtime.stats import RankStats, RunStats
 
-__all__ = ["run_spmd", "SPMDError", "SPMDResult"]
+__all__ = ["run_spmd", "SPMDError", "SPMDResult", "resolve_backend"]
+
+_BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: str | None) -> tuple[str, bool]:
+    """Resolve a backend request to a concrete backend name.
+
+    ``None``/``"auto"`` defer to the ``REPRO_DEFAULT_BACKEND`` environment
+    variable (default ``"thread"``).  Returns ``(name, explicit)`` where
+    ``explicit`` is False when the choice came from the environment — an
+    environment-selected process backend falls back to threads for programs
+    that cannot be pickled, instead of erroring.
+    """
+    if backend in (None, "auto"):
+        name = os.environ.get("REPRO_DEFAULT_BACKEND", "thread") or "thread"
+        explicit = False
+    else:
+        name = backend
+        explicit = True
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown SPMD backend {name!r}; expected one of {_BACKENDS}"
+        )
+    return name, explicit
 
 
 class SPMDError(RuntimeError):
@@ -37,6 +75,7 @@ def run_spmd(
     faults: Any = None,
     checksums: bool = False,
     tracer: Any = None,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> SPMDResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
@@ -44,10 +83,20 @@ def run_spmd(
     Parameters
     ----------
     n_ranks:
-        Number of simulated MPI ranks (threads).
+        Number of simulated MPI ranks (threads or processes).
     fn:
         The SPMD program.  Its first positional argument is the rank's
-        :class:`~repro.runtime.comm.SimComm`.
+        communicator (:class:`~repro.runtime.comm.SimComm` on the thread
+        backend, a contract-identical
+        :class:`~repro.runtime.process_backend.ProcComm` on the process
+        backend).  Must be picklable (module-level) for the process
+        backend.
+    backend:
+        ``"thread"`` | ``"process"`` | ``"auto"``/``None`` (defer to
+        ``REPRO_DEFAULT_BACKEND``, default thread).  The process backend
+        runs each rank in its own spawned interpreter for true multi-core
+        execution; results, byte accounting and failure semantics are
+        identical across backends.
     timeout:
         Per-blocking-operation deadlock timeout in seconds.
     faults:
@@ -79,6 +128,35 @@ def run_spmd(
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
+    resolved, explicit = resolve_backend(backend)
+    if resolved == "process":
+        from repro.runtime.process_backend import (
+            ProgramNotPicklableError,
+            run_spmd_process,
+        )
+
+        try:
+            return run_spmd_process(
+                n_ranks,
+                fn,
+                *args,
+                timeout=timeout,
+                faults=faults,
+                checksums=checksums,
+                tracer=tracer,
+                **kwargs,
+            )
+        except ProgramNotPicklableError:
+            if explicit:
+                raise
+            # REPRO_DEFAULT_BACKEND=process is a blanket preference; local
+            # closures (common in tests) can only run on threads
+            warnings.warn(
+                "REPRO_DEFAULT_BACKEND=process but the SPMD program is not "
+                "picklable; falling back to the thread backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     injector = None
     if faults is not None:
         from repro.runtime.faults import FaultInjector

@@ -23,16 +23,29 @@ from repro.graph.generators import (
 
 @pytest.fixture(autouse=os.environ.get("REPRO_THREAD_LEAK_CHECK") == "1")
 def assert_no_thread_leak():
-    """Fail the test if it leaks simulated-rank threads.
+    """Fail the test if it leaks runtime resources.
 
-    Enabled by ``REPRO_THREAD_LEAK_CHECK=1`` (the CI fault-matrix job): a
-    crashed or aborted world must still join every rank thread, even when
-    faults were injected mid-collective.
+    Enabled by ``REPRO_THREAD_LEAK_CHECK=1`` (the CI fault-matrix and
+    backend-matrix jobs).  A crashed or aborted world must still release
+    everything it acquired, whatever the backend:
+
+    * thread backend — every simulated-rank thread joined, even when
+      faults were injected mid-collective;
+    * process backend — every spawned child reaped and every
+      ``repro-shm-*`` shared-memory segment unlinked, even after hard
+      child deaths (``os._exit``).
     """
+    import multiprocessing
+
+    from repro.graph.shm import active_segments, leaked_segment_files
+
     before = threading.active_count()
+    shm_before = set(leaked_segment_files())
     yield
     deadline = time.monotonic() + 5.0
-    while threading.active_count() > before and time.monotonic() < deadline:
+    while (
+        threading.active_count() > before or multiprocessing.active_children()
+    ) and time.monotonic() < deadline:
         time.sleep(0.05)
     leaked = [
         t.name
@@ -40,6 +53,11 @@ def assert_no_thread_leak():
         if t is not threading.main_thread() and t.is_alive()
     ]
     assert threading.active_count() <= before, f"leaked threads: {leaked}"
+    children = multiprocessing.active_children()
+    assert children == [], f"leaked child processes: {children}"
+    assert active_segments() == [], f"leaked shm arenas: {active_segments()}"
+    shm_after = set(leaked_segment_files()) - shm_before
+    assert not shm_after, f"leaked /dev/shm segments: {sorted(shm_after)}"
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,8 @@ modularity-invariant and the checkpoint holds the flat assignment of the
 completed level.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -124,6 +126,55 @@ class TestRecoverySweep:
         )
         assert outcome.recovered
         assert abs(outcome.result.modularity - baselines[p].modularity) < TOL
+
+
+class TestProcessBackendRecovery:
+    """Checkpoint recovery is backend-independent.
+
+    On the process backend the checkpoint is written to disk by the rank-0
+    child while the supervisor's live injector stays in the parent — so
+    one-shot crash faults persist across attempts exactly as they do with
+    threads, and the recovered run must match the thread-backend baseline.
+    """
+
+    @pytest.mark.parametrize("crash_level", [0, 1])
+    def test_crash_at_level_boundary_recovers(
+        self, sbm2, baselines, tmp_path, crash_level
+    ):
+        baseline = baselines[2]
+        if crash_level >= len(baseline.level_mappings):
+            pytest.skip("run has too few level boundaries")
+        cfg = replace(_cfg(tmp_path), backend="process")
+        plan = FaultPlan(
+            [CrashFault(rank=crash_level % 2, event=f"level:{crash_level}")]
+        )
+        outcome = run_with_recovery(sbm2, 2, cfg, max_retries=2, faults=plan)
+        assert outcome.attempts == 2
+        assert outcome.recovered
+        assert outcome.resumed_levels == [0, crash_level + 1]
+        assert abs(outcome.result.modularity - baseline.modularity) < TOL
+        result_q = modularity(sbm2, outcome.result.assignment)
+        assert abs(outcome.result.modularity - result_q) < TOL
+
+    def test_mid_level_crash_recovers_at_p4(self, sbm2, baselines, tmp_path):
+        cfg = replace(_cfg(tmp_path), backend="process")
+        plan = FaultPlan([CrashFault(rank=3, superstep=40)])
+        outcome = run_with_recovery(sbm2, 4, cfg, max_retries=2, faults=plan)
+        assert outcome.recovered
+        assert abs(outcome.result.modularity - baselines[4].modularity) < TOL
+
+    def test_no_leaked_resources_after_recovery(self, sbm2, tmp_path):
+        import multiprocessing
+
+        from repro.graph.shm import active_segments, leaked_segment_files
+
+        cfg = replace(_cfg(tmp_path), backend="process")
+        plan = FaultPlan([CrashFault(rank=1, event="level:0")])
+        outcome = run_with_recovery(sbm2, 2, cfg, max_retries=2, faults=plan)
+        assert outcome.recovered
+        assert multiprocessing.active_children() == []
+        assert active_segments() == []
+        assert leaked_segment_files() == []
 
 
 class TestSupervisor:
